@@ -1,0 +1,291 @@
+// Package mqsspulse is a Go implementation of the pulse-enabled
+// heterogeneous HPCQC software stack described in "Tackling the Challenges
+// of Adding Pulse-level Support to a Heterogeneous HPCQC Software Stack:
+// MQSS Pulse" (SC Workshops '25).
+//
+// The stack spans all four layers the paper extends:
+//
+//   - Programming interface: a compiled QPI with the paper's three pulse
+//     primitives (Waveform, PlayWaveform, FrameChange) next to gates.
+//   - Intermediate representation: an MLIR-style pulse dialect with a pass
+//     pipeline (gate→pulse lowering, canonicalization, DCE, hardware
+//     legalization).
+//   - Backend interface: QDMI — property queries over devices, sites,
+//     operations and ports, pulse-calibration management, job submission.
+//   - Exchange format: QIR with a Pulse Profile, linked against device
+//     runtimes at submission time.
+//
+// Three simulated quantum devices (superconducting transmons, trapped
+// ions, neutral atoms) execute payloads through a Lindblad-level dynamics
+// engine, with parameter drift for the paper's calibration use case.
+//
+// This facade re-exports the stable public surface; examples/ and cmd/
+// build exclusively against it.
+package mqsspulse
+
+import (
+	"mqsspulse/internal/calib"
+	"mqsspulse/internal/client"
+	"mqsspulse/internal/compiler"
+	"mqsspulse/internal/devices"
+	"mqsspulse/internal/mlir"
+	"mqsspulse/internal/optctl"
+	"mqsspulse/internal/pulse"
+	"mqsspulse/internal/qdmi"
+	"mqsspulse/internal/qir"
+	"mqsspulse/internal/qpi"
+	"mqsspulse/internal/qrm"
+	"mqsspulse/internal/vqe"
+	"mqsspulse/internal/waveform"
+)
+
+// Programming interface (paper Section 5.1).
+type (
+	// Circuit is a mixed gate/pulse kernel under construction.
+	Circuit = qpi.Circuit
+	// Result carries measured counts.
+	Result = qpi.Result
+	// Backend executes finished kernels.
+	Backend = qpi.Backend
+)
+
+// NewCircuit begins a kernel (the paper's qCircuitBegin).
+func NewCircuit(name string, qubits, classical int) *Circuit {
+	return qpi.NewCircuit(name, qubits, classical)
+}
+
+// Execute dispatches a finished kernel to a backend (the paper's qExecute).
+func Execute(b Backend, c *Circuit, shots int) (*Result, error) { return qpi.Execute(b, c, shots) }
+
+// Pulse abstractions (paper Section 4).
+type (
+	// Port is a hardware I/O channel.
+	Port = pulse.Port
+	// Frame is the stateful carrier abstraction.
+	Frame = pulse.Frame
+	// Waveform is a sampled pulse envelope.
+	Waveform = waveform.Waveform
+	// Envelope is a parametric pulse shape.
+	Envelope = waveform.Envelope
+	// Gaussian, DRAG, GaussianSquare, Constant are common envelopes.
+	Gaussian       = waveform.Gaussian
+	DRAG           = waveform.DRAG
+	GaussianSquare = waveform.GaussianSquare
+	Constant       = waveform.Constant
+)
+
+// Devices and QDMI (paper Section 5.3).
+type (
+	// Device is the QDMI device interface.
+	Device = qdmi.Device
+	// SimDevice is a simulated quantum accelerator.
+	SimDevice = devices.SimDevice
+	// DeviceConfig assembles a custom simulated device.
+	DeviceConfig = devices.Config
+	// PulseImpl is a calibrated pulse implementation of an operation.
+	PulseImpl = qdmi.PulseImpl
+	// PulseStep is one element of a PulseImpl.
+	PulseStep = qdmi.PulseStep
+	// Driver is the QDMI device registry.
+	Driver = qdmi.Driver
+	// Session is a client's handle on the driver.
+	Session = qdmi.Session
+	// Job is an asynchronous device execution.
+	Job = qdmi.Job
+)
+
+// Program formats accepted by SubmitJob.
+const (
+	FormatQIRBase  = qdmi.FormatQIRBase
+	FormatQIRPulse = qdmi.FormatQIRPulse
+)
+
+// NewSuperconductingDevice builds the transmon preset.
+func NewSuperconductingDevice(name string, sites int, seed int64) (*SimDevice, error) {
+	return devices.Superconducting(name, sites, seed)
+}
+
+// NewTrappedIonDevice builds the ion-trap preset.
+func NewTrappedIonDevice(name string, sites int, seed int64) (*SimDevice, error) {
+	return devices.TrappedIon(name, sites, seed)
+}
+
+// NewNeutralAtomDevice builds the neutral-atom preset.
+func NewNeutralAtomDevice(name string, sites int, seed int64) (*SimDevice, error) {
+	return devices.NeutralAtom(name, sites, seed)
+}
+
+// NewDevice builds a simulated device from a custom configuration.
+func NewDevice(cfg DeviceConfig) (*SimDevice, error) { return devices.New(cfg) }
+
+// NewDriver creates an empty QDMI device registry.
+func NewDriver() *Driver { return qdmi.NewDriver() }
+
+// Client and adapters (paper Fig. 2).
+type (
+	// Client is the MQSS client: compile → schedule → execute.
+	Client = client.Client
+	// NativeAdapter is the compiled QPI adapter.
+	NativeAdapter = client.NativeAdapter
+	// InterpretedAdapter parses textual programs per submission.
+	InterpretedAdapter = client.InterpretedAdapter
+	// RemoteAdapter submits payloads over TCP.
+	RemoteAdapter = client.RemoteAdapter
+	// Server exposes a client's devices over TCP.
+	Server = client.Server
+	// SubmitOptions tunes a submission.
+	SubmitOptions = client.SubmitOptions
+	// Ticket tracks a queued job.
+	Ticket = qrm.Ticket
+)
+
+// Stack bundles driver, session, and client over a set of devices — the
+// one-call setup used by the examples.
+type Stack struct {
+	Driver  *Driver
+	Session *Session
+	Client  *Client
+}
+
+// NewStack registers the devices and wires up the client.
+func NewStack(devs ...Device) (*Stack, error) {
+	drv := qdmi.NewDriver()
+	for _, d := range devs {
+		if err := drv.RegisterDevice(d); err != nil {
+			return nil, err
+		}
+	}
+	ses := drv.OpenSession()
+	return &Stack{Driver: drv, Session: ses, Client: client.New(ses)}, nil
+}
+
+// Close releases the stack.
+func (s *Stack) Close() {
+	s.Client.Close()
+	s.Session.Close()
+}
+
+// NewServer exposes a client over TCP.
+func NewServer(c *Client, addr string) (*Server, error) { return client.NewServer(c, addr) }
+
+// NewRemoteAdapter dials a remote MQSS client.
+func NewRemoteAdapter(addr string) (*RemoteAdapter, error) { return client.NewRemoteAdapter(addr) }
+
+// Compiler and exchange format (paper Sections 5.2, 5.4).
+type (
+	// CompileResult bundles MLIR, QIR, payload and timings.
+	CompileResult = compiler.Result
+	// MLIRModule is a pulse-dialect module.
+	MLIRModule = mlir.Module
+	// QIRModule is a QIR exchange module.
+	QIRModule = qir.Module
+)
+
+// Compile JIT-compiles a kernel for a device (QPI → MLIR → passes → QIR).
+func Compile(c *Circuit, dev Device) (*CompileResult, error) { return compiler.Compile(c, dev) }
+
+// CompileMLIR compiles MLIR text for a device.
+func CompileMLIR(src string, dev Device) (*CompileResult, error) {
+	return compiler.CompileMLIRText(src, dev)
+}
+
+// ParseMLIR parses pulse-dialect text.
+func ParseMLIR(src string) (*MLIRModule, error) { return mlir.Parse(src) }
+
+// ParseQIR parses QIR exchange text.
+func ParseQIR(src string) (*QIRModule, error) { return qir.ParseModule(src) }
+
+// Calibration (paper Section 2.1, use case 1).
+type (
+	// CalibrationTarget is the device surface calibration routines need.
+	CalibrationTarget = calib.Target
+	// CalibrationPolicy sets a device's calibration cadence.
+	CalibrationPolicy = calib.Policy
+	// CalibrationScheduler plans and executes routines.
+	CalibrationScheduler = calib.Scheduler
+	// RabiResult reports an amplitude calibration.
+	RabiResult = calib.RabiResult
+	// RamseyResult reports a frequency calibration.
+	RamseyResult = calib.RamseyResult
+)
+
+// RabiCalibrate re-fits the π-pulse amplitude of a site.
+func RabiCalibrate(dev CalibrationTarget, site, points, shots int) (*RabiResult, error) {
+	return calib.RabiCalibrate(dev, site, points, shots)
+}
+
+// RamseyCalibrate re-fits the qubit frequency of a site.
+func RamseyCalibrate(dev CalibrationTarget, site int, probeHz float64, points, shots int) (*RamseyResult, error) {
+	return calib.RamseyCalibrate(dev, site, probeHz, points, shots)
+}
+
+// CalibrationPolicyFor derives a technology-appropriate cadence via QDMI.
+func CalibrationPolicyFor(dev Device) (CalibrationPolicy, error) { return calib.PolicyFor(dev) }
+
+// RamseyErrorBenchmark measures frequency-drift-induced error: a resonant
+// sx–idle–sx sequence that lands in |1⟩ when calibration is fresh.
+func RamseyErrorBenchmark(dev CalibrationTarget, site int, tauSeconds float64, shots int) (float64, error) {
+	return calib.RamseyErrorBenchmark(dev, site, tauSeconds, shots)
+}
+
+// PulseTrainBenchmark measures amplitude-drift-induced error via an odd
+// π-pulse train.
+func PulseTrainBenchmark(dev CalibrationTarget, site, n, shots int) (float64, error) {
+	return calib.PulseTrainBenchmark(dev, site, n, shots)
+}
+
+// NewCalibrationScheduler builds the cadence tracker.
+func NewCalibrationScheduler(dev CalibrationTarget, p CalibrationPolicy) *CalibrationScheduler {
+	return calib.NewScheduler(dev, p)
+}
+
+// Optimal control (paper Section 2.1, use case 2).
+type (
+	// ControlSystem is a piecewise-constant control problem.
+	ControlSystem = optctl.ControlSystem
+	// ControlPulse is a control amplitude table.
+	ControlPulse = optctl.Pulse
+	// GrapeOptions tunes gradient ascent.
+	GrapeOptions = optctl.GrapeOptions
+	// GrapeResult reports an optimization.
+	GrapeResult = optctl.GrapeResult
+	// TransmonXProblem is the canonical mismatch scenario.
+	TransmonXProblem = optctl.TransmonXProblem
+)
+
+// Grape runs gradient-ascent pulse engineering toward a target unitary.
+var Grape = optctl.GrapeUnitary
+
+// RunMismatchStudy compares open/closed/hybrid control under mismatch.
+var RunMismatchStudy = optctl.RunMismatchStudy
+
+// TargetX returns the qubit-subspace X gate and the 3-level projector used
+// by the transmon control problems.
+var TargetX = optctl.TargetX
+
+// VQE (paper Section 2.1, use case 3).
+type (
+	// PauliHamiltonian is a sum of Pauli terms.
+	PauliHamiltonian = vqe.Hamiltonian
+	// GateAnsatz is the hardware-efficient gate ansatz.
+	GateAnsatz = vqe.GateAnsatz
+	// PulseAnsatz is the ctrl-VQE waveform ansatz.
+	PulseAnsatz = vqe.PulseAnsatz
+	// VQEOptions tunes a run.
+	VQEOptions = vqe.Options
+	// VQEResult summarizes a run.
+	VQEResult = vqe.RunResult
+)
+
+// H2Hamiltonian returns the 2-qubit minimal-basis H₂ benchmark.
+func H2Hamiltonian() *PauliHamiltonian { return vqe.H2Minimal() }
+
+// NewPulseAnsatz discovers ports/constraints for ctrl-VQE via QDMI.
+func NewPulseAnsatz(dev Device, qubits int) (*PulseAnsatz, error) {
+	return vqe.NewPulseAnsatz(dev, qubits)
+}
+
+// RunVQE minimizes the measured energy over ansatz parameters.
+func RunVQE(dev Device, h *PauliHamiltonian, a vqe.Ansatz, x0 []float64, opts VQEOptions) (*VQEResult, error) {
+	return vqe.Run(dev, h, a, x0, opts)
+}

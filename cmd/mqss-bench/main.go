@@ -1,0 +1,60 @@
+// mqss-bench regenerates the paper-reproduction experiment tables
+// (DESIGN.md §4, recorded in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	mqss-bench -all          # run every experiment
+//	mqss-bench -exp EXP-C2   # run one experiment
+//	mqss-bench -list         # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mqsspulse/internal/experiments"
+)
+
+func main() {
+	all := flag.Bool("all", false, "run every experiment")
+	exp := flag.String("exp", "", "run a single experiment by ID (e.g. EXP-F1)")
+	list := flag.Bool("list", false, "list experiment IDs")
+	flag.Parse()
+
+	ids := []string{"EXP-F1", "EXP-F2", "EXP-F3", "EXP-L1", "EXP-L2", "EXP-L3",
+		"EXP-C1", "EXP-C2", "EXP-C3"}
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+	run := func(id string) {
+		f, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tab, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab.Render())
+		fmt.Printf("(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	switch {
+	case *all:
+		for _, id := range ids {
+			run(id)
+		}
+	case *exp != "":
+		run(*exp)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

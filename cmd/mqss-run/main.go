@@ -1,0 +1,87 @@
+// mqss-run compiles and executes a quantum program on a simulated device
+// through the full stack (adapter → client → QRM → JIT → QDMI → device) and
+// prints the measured histogram.
+//
+// Usage:
+//
+//	mqss-run -device sc -shots 2048 -in bell.qpi
+//	echo "circuit c 1 1
+//	x 0
+//	measure 0 0" | mqss-run -device atom
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"mqsspulse/internal/client"
+	"mqsspulse/internal/devices"
+	"mqsspulse/internal/qdmi"
+)
+
+func main() {
+	device := flag.String("device", "sc", "device preset: sc, ion, atom")
+	in := flag.String("in", "", "input program file in QPI text grammar (default: stdin)")
+	shots := flag.Int("shots", 1024, "measurement shots")
+	sites := flag.Int("sites", 2, "device site count")
+	flag.Parse()
+
+	var dev *devices.SimDevice
+	var err error
+	switch *device {
+	case "sc":
+		dev, err = devices.Superconducting("sc", *sites, 1)
+	case "ion":
+		dev, err = devices.TrappedIon("ion", *sites, 1)
+	case "atom":
+		dev, err = devices.NeutralAtom("atom", *sites, 1)
+	default:
+		err = fmt.Errorf("unknown device %q", *device)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	var src []byte
+	if *in == "" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(*in)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	drv := qdmi.NewDriver()
+	if err := drv.RegisterDevice(dev); err != nil {
+		fatal(err)
+	}
+	cl := client.New(drv.OpenSession())
+	defer cl.Close()
+	adapter := &client.InterpretedAdapter{Client: cl, Target: dev.Name()}
+	res, err := adapter.Execute(string(src), *shots)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("device: %s   shots: %d   schedule: %.4g µs\n",
+		dev.Name(), res.Shots, res.DurationSeconds*1e6)
+	masks := make([]uint64, 0, len(res.Counts))
+	for m := range res.Counts {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(i, j int) bool { return masks[i] < masks[j] })
+	for _, m := range masks {
+		n := res.Counts[m]
+		bar := ""
+		for i := 0; i < 40*n/res.Shots; i++ {
+			bar += "#"
+		}
+		fmt.Printf("%08b  %6d  %6.3f  %s\n", m, n, float64(n)/float64(res.Shots), bar)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mqss-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// qdmi-query inspects a device through the QDMI interface (paper Fig. 3):
+// device, site, operation, and port properties, including the pulse-support
+// extension this paper adds.
+//
+// Usage:
+//
+//	qdmi-query -device sc
+//	qdmi-query -device ion -sites 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mqsspulse/internal/devices"
+	"mqsspulse/internal/qdmi"
+)
+
+func main() {
+	device := flag.String("device", "sc", "device preset: sc, ion, atom")
+	sites := flag.Int("sites", 2, "device site count")
+	flag.Parse()
+
+	var dev *devices.SimDevice
+	var err error
+	switch *device {
+	case "sc":
+		dev, err = devices.Superconducting("sc", *sites, 1)
+	case "ion":
+		dev, err = devices.TrappedIon("ion", *sites, 1)
+	case "atom":
+		dev, err = devices.NeutralAtom("atom", *sites, 1)
+	default:
+		err = fmt.Errorf("unknown device %q", *device)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qdmi-query:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("=== device properties ===")
+	devProps := []struct {
+		name string
+		p    qdmi.DeviceProperty
+	}{
+		{"name", qdmi.DevicePropName},
+		{"version", qdmi.DevicePropVersion},
+		{"technology", qdmi.DevicePropTechnology},
+		{"num sites", qdmi.DevicePropNumSites},
+		{"sample rate (Hz)", qdmi.DevicePropSampleRateHz},
+		{"pulse support", qdmi.DevicePropPulseSupport},
+		{"waveform kinds", qdmi.DevicePropWaveformKinds},
+		{"native gates", qdmi.DevicePropNativeGates},
+		{"program formats", qdmi.DevicePropProgramFormats},
+		{"granularity", qdmi.DevicePropGranularity},
+		{"min pulse samples", qdmi.DevicePropMinPulseSamples},
+		{"max pulse samples", qdmi.DevicePropMaxPulseSamples},
+		{"max shots", qdmi.DevicePropMaxShots},
+	}
+	for _, dp := range devProps {
+		v, err := dev.QueryDeviceProperty(dp.p)
+		if err != nil {
+			v = "(not supported)"
+		}
+		fmt.Printf("  %-20s %v\n", dp.name, v)
+	}
+
+	fmt.Println("\n=== site properties ===")
+	for s := 0; s < dev.NumSites(); s++ {
+		freq, _ := dev.QuerySiteProperty(s, qdmi.SitePropFrequencyHz)
+		t1, _ := dev.QuerySiteProperty(s, qdmi.SitePropT1Seconds)
+		t2, _ := dev.QuerySiteProperty(s, qdmi.SitePropT2Seconds)
+		anh, _ := dev.QuerySiteProperty(s, qdmi.SitePropAnharmonicityHz)
+		conn, _ := dev.QuerySiteProperty(s, qdmi.SitePropConnectivity)
+		rf, _ := dev.QuerySiteProperty(s, qdmi.SitePropReadoutFidelity)
+		fmt.Printf("  site %d: f=%.6g Hz  T1=%v s  T2=%v s  anharm=%v Hz  readout=%v  coupled=%v\n",
+			s, freq, t1, t2, anh, rf, conn)
+	}
+
+	fmt.Println("\n=== operations ===")
+	for _, op := range dev.Operations() {
+		sitesArg := []int{0}
+		arity, _ := dev.QueryOperationProperty(op, nil, qdmi.OpPropArity)
+		if a, ok := arity.(int); ok && a == 2 {
+			sitesArg = []int{0, 1}
+		}
+		durI, _ := dev.QueryOperationProperty(op, sitesArg, qdmi.OpPropDurationSeconds)
+		fid, _ := dev.QueryOperationProperty(op, sitesArg, qdmi.OpPropFidelity)
+		hasPulse, _ := dev.QueryOperationProperty(op, sitesArg, qdmi.OpPropHasPulseImpl)
+		fmt.Printf("  %-8s arity=%v  duration=%v s  est. fidelity=%.6v  pulse impl=%v\n",
+			op, arity, durI, fid, hasPulse)
+	}
+
+	fmt.Println("\n=== ports (pulse extension) ===")
+	for _, p := range dev.Ports() {
+		kind, _ := dev.QueryPortProperty(p.ID, qdmi.PortPropKind)
+		rate, _ := dev.QueryPortProperty(p.ID, qdmi.PortPropSampleRateHz)
+		gran, _ := dev.QueryPortProperty(p.ID, qdmi.PortPropGranularity)
+		maxA, _ := dev.QueryPortProperty(p.ID, qdmi.PortPropMaxAmplitude)
+		fmt.Printf("  %-16s kind=%-8v sites=%v  rate=%.4g Hz  granularity=%v  max amp=%v\n",
+			p.ID, kind, p.Sites, rate, gran, maxA)
+	}
+}

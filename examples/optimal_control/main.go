@@ -1,0 +1,44 @@
+// Pulse engineering by optimal control (paper §2.1): GRAPE designs a
+// leakage-free X pulse for a 3-level transmon against a model Hamiltonian;
+// when the real hardware is detuned from the model (model mismatch), the
+// open-loop pulse underperforms and closed-loop refinement — SPSA against
+// measured fidelities, seeded by the GRAPE solution — recovers it (the
+// hybrid strategy the paper highlights).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mqsspulse "mqsspulse"
+)
+
+func main() {
+	// A 32 ns pulse grid on a transmon with -220 MHz anharmonicity; the
+	// true hardware sits 3 MHz off the model and drives 5% hot.
+	prob := &mqsspulse.TransmonXProblem{
+		Slots: 32, Dt: 1e-9,
+		AnharmHz: -220e6, RabiHz: 40e6,
+		TrueDetuneHz: 3e6, TrueAmpScale: 1.05,
+	}
+
+	fmt.Println("open-loop GRAPE on the model Hamiltonian...")
+	res, err := mqsspulse.RunMismatchStudy(prob, 0, 2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  GRAPE iterations:           %d\n", res.GrapeIters)
+	fmt.Printf("  fidelity on its own model:  %.5f\n", res.OpenLoopModelF)
+	fmt.Printf("  fidelity on true hardware:  %.5f   <- model mismatch bites\n\n", res.OpenLoopTrueF)
+
+	fmt.Println("closed-loop SPSA from a naive Gaussian seed...")
+	fmt.Printf("  fidelity: %.5f  (%d measurements)\n\n", res.ClosedLoopF, res.ClosedEvals)
+
+	fmt.Println("hybrid: GRAPE solution refined by closed-loop SPSA...")
+	fmt.Printf("  fidelity: %.5f  (%d measurements)\n\n", res.HybridF, res.HybridEvals)
+
+	fmt.Println("summary (higher is better):")
+	fmt.Printf("  open-loop   %.5f\n", res.OpenLoopTrueF)
+	fmt.Printf("  closed-loop %.5f\n", res.ClosedLoopF)
+	fmt.Printf("  hybrid      %.5f\n", res.HybridF)
+}

@@ -1,0 +1,306 @@
+package calib
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mqsspulse/internal/devices"
+)
+
+func TestGoldenMin(t *testing.T) {
+	min := goldenMin(func(x float64) float64 { return (x - 1.7) * (x - 1.7) }, -5, 5, 80)
+	if math.Abs(min-1.7) > 1e-6 {
+		t.Fatalf("goldenMin = %g, want 1.7", min)
+	}
+}
+
+func TestFitOscillationSynthetic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f0 := 1.3e6
+	var ts, ys []float64
+	for i := 0; i < 24; i++ {
+		tt := float64(i) * 100e-9
+		ts = append(ts, tt)
+		ys = append(ys, 0.5+0.45*math.Cos(2*math.Pi*f0*tt+0.4)+0.01*rng.NormFloat64())
+	}
+	got, err := FitOscillation(ts, ys, 0.2e6, 3e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-f0) > 0.02e6 {
+		t.Fatalf("fitted %g, want %g", got, f0)
+	}
+}
+
+func TestFitOscillationRejectsFlat(t *testing.T) {
+	var ts, ys []float64
+	for i := 0; i < 20; i++ {
+		ts = append(ts, float64(i))
+		ys = append(ys, 0.5)
+	}
+	if _, err := FitOscillation(ts, ys, 0.01, 1); err == nil {
+		t.Fatal("flat data fit succeeded")
+	}
+	if _, err := FitOscillation(ts[:3], ys[:3], 0.01, 1); err == nil {
+		t.Fatal("too few points accepted")
+	}
+	if _, err := FitOscillation(ts, ys, 1, 0.5); err == nil {
+		t.Fatal("bad window accepted")
+	}
+}
+
+func TestFitRabiRateSynthetic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	k0 := 4.2 // rad per unit amplitude
+	var amps, p1s []float64
+	for i := 0; i < 14; i++ {
+		a := 0.08 + 0.92*float64(i)/13
+		amps = append(amps, a)
+		p1s = append(p1s, math.Pow(math.Sin(k0*a/2), 2)+0.01*rng.NormFloat64())
+	}
+	k, err := FitRabiRate(amps, p1s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-k0) > 0.05 {
+		t.Fatalf("fitted k=%g, want %g", k, k0)
+	}
+}
+
+func TestFitExponentialDecaySynthetic(t *testing.T) {
+	tau0 := 35e-6
+	var ts, ys []float64
+	for i := 0; i < 10; i++ {
+		tt := float64(i) * 10e-6
+		ts = append(ts, tt)
+		ys = append(ys, 0.95*math.Exp(-tt/tau0)+0.02)
+	}
+	tau, err := FitExponentialDecay(ts, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tau-tau0)/tau0 > 0.05 {
+		t.Fatalf("fitted τ=%g, want %g", tau, tau0)
+	}
+}
+
+func newMiscalibratedSC(t *testing.T, freqErrHz, ampErrRel float64) *devices.SimDevice {
+	t.Helper()
+	d, err := devices.Superconducting("sc-cal", 1, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freqErrHz != 0 {
+		d.SetCalibratedFrequency(0, d.TrueFrequency(0)+freqErrHz)
+	}
+	if ampErrRel != 0 {
+		d.SetCalibratedPiAmplitude(0, d.CalibratedPiAmplitude(0)*(1+ampErrRel))
+	}
+	return d
+}
+
+func TestRabiCalibrateRecoversAmplitude(t *testing.T) {
+	// Introduce a +12% amplitude miscalibration; Rabi calibration should
+	// pull it back to within ~2%.
+	d := newMiscalibratedSC(t, 0, 0.12)
+	before := d.CalibratedPiAmplitude(0)
+	res, err := RabiCalibrate(d, 0, 12, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OldAmp != before {
+		t.Fatal("report lost the old amplitude")
+	}
+	// The true π amplitude is what a fresh device computes.
+	fresh, _ := devices.Superconducting("fresh", 1, 77)
+	truth := fresh.CalibratedPiAmplitude(0)
+	if math.Abs(res.NewAmp-truth)/truth > 0.03 {
+		t.Fatalf("calibrated amp %g, truth %g", res.NewAmp, truth)
+	}
+	if d.CalibratedPiAmplitude(0) != res.NewAmp {
+		t.Fatal("writeback missing")
+	}
+}
+
+func TestRamseyCalibrateRecoversFrequency(t *testing.T) {
+	// Introduce a +200 kHz frequency error; Ramsey with a 1 MHz probe
+	// should recover it within ~30 kHz.
+	freqErr := 200e3
+	d := newMiscalibratedSC(t, freqErr, 0)
+	res, err := RamseyCalibrate(d, 0, 1e6, 16, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeasuredOffsetHz-freqErr) > 30e3 {
+		t.Fatalf("measured offset %g, want %g", res.MeasuredOffsetHz, freqErr)
+	}
+	residual := d.CalibratedFrequency(0) - d.TrueFrequency(0)
+	if math.Abs(residual) > 30e3 {
+		t.Fatalf("residual after calibration: %g Hz", residual)
+	}
+}
+
+func TestRamseyCalibrateNegativeError(t *testing.T) {
+	freqErr := -300e3
+	d := newMiscalibratedSC(t, freqErr, 0)
+	res, err := RamseyCalibrate(d, 0, 1e6, 16, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeasuredOffsetHz-freqErr) > 40e3 {
+		t.Fatalf("measured offset %g, want %g", res.MeasuredOffsetHz, freqErr)
+	}
+}
+
+func TestRamseyCalibrateValidation(t *testing.T) {
+	d := newMiscalibratedSC(t, 0, 0)
+	if _, err := RamseyCalibrate(d, 0, -5, 8, 100); err == nil {
+		t.Fatal("negative probe accepted")
+	}
+}
+
+func TestMeasureT1(t *testing.T) {
+	d := newMiscalibratedSC(t, 0, 0)
+	// True T1 is 80 µs (preset).
+	res, err := MeasureT1(d, 0, 160e-6, 8, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.T1Seconds-80e-6)/80e-6 > 0.3 {
+		t.Fatalf("T1 = %g, want ≈ 80 µs", res.T1Seconds)
+	}
+}
+
+func TestRamseyErrorBenchmarkSensitivity(t *testing.T) {
+	// The benchmark error should grow with injected detuning.
+	good := newMiscalibratedSC(t, 0, 0)
+	bad := newMiscalibratedSC(t, 150e3, 0)
+	tau := 2e-6
+	e0, err := RamseyErrorBenchmark(good, 0, tau, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := RamseyErrorBenchmark(bad, 0, tau, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sin²(π·150e3·2e-6) ≈ 0.66 on top of readout error.
+	if e1 < e0+0.3 {
+		t.Fatalf("benchmark not drift sensitive: calibrated %g vs drifted %g", e0, e1)
+	}
+}
+
+func TestPolicyFor(t *testing.T) {
+	sc, _ := devices.Superconducting("sc", 1, 1)
+	ion, _ := devices.TrappedIon("ion", 1, 1)
+	atom, _ := devices.NeutralAtom("atom", 1, 1)
+	pSC, err := PolicyFor(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pIon, err := PolicyFor(ion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pAtom, err := PolicyFor(atom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cadence ordering the paper cites: atoms (minutes) < sc < ions (hours).
+	if !(pAtom.RamseyEverySeconds < pSC.RamseyEverySeconds && pSC.RamseyEverySeconds <= pIon.RamseyEverySeconds) {
+		t.Fatalf("cadences out of order: atom=%g sc=%g ion=%g",
+			pAtom.RamseyEverySeconds, pSC.RamseyEverySeconds, pIon.RamseyEverySeconds)
+	}
+}
+
+func TestSchedulerDueAndTick(t *testing.T) {
+	d := newMiscalibratedSC(t, 100e3, 0)
+	pol := Policy{RamseyEverySeconds: 600, RabiEverySeconds: 1e9, ProbeHz: 1e6, Shots: 600}
+	s := NewScheduler(d, pol)
+	if due := s.Due(); len(due) != 0 {
+		t.Fatalf("nothing should be due at t=0, got %v", due)
+	}
+	d.AdvanceTime(700)
+	due := s.Due()
+	if len(due) != 1 || due[0].Routine != "ramsey" {
+		t.Fatalf("due = %+v, want one ramsey", due)
+	}
+	n, err := s.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || len(s.Events) != 1 {
+		t.Fatalf("tick ran %d routines", n)
+	}
+	// After running, nothing due until the next interval.
+	if due := s.Due(); len(due) != 0 {
+		t.Fatalf("still due after tick: %v", due)
+	}
+	// The recorded event carries the measured offset.
+	if math.Abs(s.Events[0].OffsetHz) < 10e3 {
+		t.Fatalf("event offset %g, expected ~100 kHz", s.Events[0].OffsetHz)
+	}
+}
+
+func TestSchedulerFidelityFloorTrigger(t *testing.T) {
+	d := newMiscalibratedSC(t, 0, 0)
+	pol := Policy{RamseyEverySeconds: 1e9, RabiEverySeconds: 1e9, ProbeHz: 1e6,
+		FidelityFloor: 0.9999, Shots: 600}
+	s := NewScheduler(d, pol)
+	// Degrade the estimated fidelity by a large frequency miscalibration.
+	d.SetCalibratedFrequency(0, d.TrueFrequency(0)+5e6)
+	due := s.Due()
+	if len(due) != 2 {
+		t.Fatalf("fidelity floor should trigger ramsey+rabi, got %v", due)
+	}
+}
+
+func TestFineAmplitudeCalibrate(t *testing.T) {
+	// Inject a +2% amplitude error — below the coarse Rabi fit's noise
+	// floor — and verify the error-amplified routine pulls it under 0.5%.
+	d := newMiscalibratedSC(t, 0, 0.02)
+	fresh, _ := devices.Superconducting("fresh-fine", 1, 77)
+	truth := fresh.CalibratedPiAmplitude(0)
+	res, err := FineAmplitudeCalibrate(d, 0, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := math.Abs(res.NewAmp-truth) / truth
+	if relErr > 0.005 {
+		t.Fatalf("fine calibration residual %.4f (amp %g vs truth %g)", relErr, res.NewAmp, truth)
+	}
+	if d.CalibratedPiAmplitude(0) != res.NewAmp {
+		t.Fatal("writeback missing")
+	}
+}
+
+func TestFineAmplitudeCalibrateNegativeError(t *testing.T) {
+	d := newMiscalibratedSC(t, 0, -0.03)
+	fresh, _ := devices.Superconducting("fresh-fine2", 1, 77)
+	truth := fresh.CalibratedPiAmplitude(0)
+	res, err := FineAmplitudeCalibrate(d, 0, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.NewAmp-truth)/truth > 0.005 {
+		t.Fatalf("fine calibration residual too large: %g vs %g", res.NewAmp, truth)
+	}
+}
+
+func TestFineAmplitudeBeatsCoarseNoiseFloor(t *testing.T) {
+	// With a tiny (0.5%) injected error, the fine routine must not make
+	// things worse — the regression EXP-C1 originally exposed.
+	d := newMiscalibratedSC(t, 0, 0.005)
+	fresh, _ := devices.Superconducting("fresh-fine3", 1, 77)
+	truth := fresh.CalibratedPiAmplitude(0)
+	res, err := FineAmplitudeCalibrate(d, 0, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := math.Abs(d.CalibratedPiAmplitude(0)*0 + res.OldAmp - truth)
+	after := math.Abs(res.NewAmp - truth)
+	if after > before {
+		t.Fatalf("fine calibration worsened the amplitude: |%.5f| -> |%.5f|", before, after)
+	}
+}

@@ -1,0 +1,171 @@
+// Package client implements the MQSS Client of Fig. 2: the orchestration
+// layer MQSS Adapters submit jobs through. It routes kernels to the JIT
+// compiler and the QRM scheduler for local devices, and over a REST-like
+// TCP protocol for remote submission. Three adapters are provided: the
+// native compiled QPI adapter (the paper's low-latency C API analogue), an
+// interpreted adapter that parses a textual program per call (the
+// scripting-runtime stand-in for the Section 5.1 overhead comparison), and
+// the remote adapter.
+package client
+
+import (
+	"fmt"
+	"sync"
+
+	"mqsspulse/internal/compiler"
+	"mqsspulse/internal/qdmi"
+	"mqsspulse/internal/qpi"
+	"mqsspulse/internal/qrm"
+)
+
+// Client routes finished kernels through compile → schedule → execute.
+type Client struct {
+	session *qdmi.Session
+	qrm     *qrm.Scheduler
+
+	mu sync.Mutex
+	// loweringCache memoizes compiled payloads keyed by (device, kernel
+	// fingerprint); ablation benchmarks toggle it.
+	loweringCache map[string][]byte
+	CacheEnabled  bool
+	cacheHits     int64
+}
+
+// New builds a client over a QDMI session with its own QRM scheduler.
+func New(session *qdmi.Session) *Client {
+	return &Client{
+		session:       session,
+		qrm:           qrm.New(session),
+		loweringCache: map[string][]byte{},
+		CacheEnabled:  true,
+	}
+}
+
+// QRM exposes the scheduler (for maintenance-hook installation).
+func (c *Client) QRM() *qrm.Scheduler { return c.qrm }
+
+// Devices lists the reachable device names.
+func (c *Client) Devices() ([]string, error) { return c.session.Devices() }
+
+// Device resolves a device for direct QDMI queries.
+func (c *Client) Device(name string) (qdmi.Device, error) { return c.session.Device(name) }
+
+// CacheHits reports lowering-cache hits (ablation metric).
+func (c *Client) CacheHits() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cacheHits
+}
+
+// Close shuts down the scheduler.
+func (c *Client) Close() { c.qrm.Close() }
+
+// fingerprint builds a cache key from the kernel structure.
+func fingerprint(k *qpi.Circuit, device string) string {
+	key := fmt.Sprintf("%s/%s/%d/%d/%d", device, k.Name, k.Qubits, k.Classical, len(k.Ops))
+	for _, op := range k.Ops {
+		key += fmt.Sprintf("|%d:%s:%v:%v:%s:%s:%g:%g:%d:%d:%d",
+			op.Kind, op.Gate, op.Qubits, op.Params, op.WaveformName, op.Port,
+			op.FrequencyHz, op.PhaseRad, op.DelaySamples, op.Qubit, op.Cbit)
+	}
+	return key
+}
+
+// Compile lowers a kernel for a device, using the lowering cache when
+// enabled.
+func (c *Client) Compile(k *qpi.Circuit, device string) ([]byte, qdmi.ProgramFormat, error) {
+	dev, err := c.session.Device(device)
+	if err != nil {
+		return nil, "", err
+	}
+	key := fingerprint(k, device)
+	if c.CacheEnabled {
+		c.mu.Lock()
+		if payload, ok := c.loweringCache[key]; ok {
+			c.cacheHits++
+			c.mu.Unlock()
+			// Format is derivable from the payload profile; recompute cheaply.
+			format := qdmi.FormatQIRBase
+			if containsPulse(payload) {
+				format = qdmi.FormatQIRPulse
+			}
+			return payload, format, nil
+		}
+		c.mu.Unlock()
+	}
+	res, err := compiler.Compile(k, dev)
+	if err != nil {
+		return nil, "", err
+	}
+	if c.CacheEnabled {
+		c.mu.Lock()
+		c.loweringCache[key] = res.Payload
+		c.mu.Unlock()
+	}
+	return res.Payload, compiler.FormatFor(res.QIR), nil
+}
+
+func containsPulse(payload []byte) bool {
+	needle := []byte(`"qir_profiles"="pulse"`)
+	for i := 0; i+len(needle) <= len(payload); i++ {
+		if string(payload[i:i+len(needle)]) == string(needle) {
+			return true
+		}
+	}
+	return false
+}
+
+// SubmitOptions tunes a submission.
+type SubmitOptions struct {
+	Shots    int
+	Priority int
+}
+
+// Submit compiles and enqueues a kernel, returning the QRM ticket.
+func (c *Client) Submit(k *qpi.Circuit, device string, opts SubmitOptions) (*qrm.Ticket, error) {
+	if err := k.Err(); err != nil {
+		return nil, err
+	}
+	if !k.Finished() {
+		return nil, fmt.Errorf("client: kernel %q not finished", k.Name)
+	}
+	if opts.Shots <= 0 {
+		opts.Shots = 1024
+	}
+	payload, format, err := c.Compile(k, device)
+	if err != nil {
+		return nil, err
+	}
+	return c.qrm.Submit(qrm.Request{
+		Device: device, Payload: payload, Format: format,
+		Shots: opts.Shots, Priority: opts.Priority,
+	})
+}
+
+// Run is the synchronous convenience wrapper: compile, schedule, wait.
+func (c *Client) Run(k *qpi.Circuit, device string, opts SubmitOptions) (*qpi.Result, error) {
+	tk, err := c.Submit(k, device, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := tk.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return &qpi.Result{Counts: res.Counts, Shots: res.Shots, DurationSeconds: res.DurationSeconds}, nil
+}
+
+// NativeAdapter is the MQSS QPI Adapter: a compiled, in-process qpi.Backend
+// bound to one device through the client — the paper's low-overhead path.
+type NativeAdapter struct {
+	Client *Client
+	Target string
+}
+
+// Name implements qpi.Backend.
+func (a *NativeAdapter) Name() string { return "qpi-native/" + a.Target }
+
+// Execute implements qpi.Backend.
+func (a *NativeAdapter) Execute(k *qpi.Circuit, shots int) (*qpi.Result, error) {
+	return a.Client.Run(k, a.Target, SubmitOptions{Shots: shots})
+}

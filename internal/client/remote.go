@@ -1,0 +1,190 @@
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"mqsspulse/internal/qdmi"
+	"mqsspulse/internal/qpi"
+	"mqsspulse/internal/qrm"
+)
+
+// The remote protocol is one JSON object per line in each direction —
+// the REST-like submission path of Fig. 2, reduced to its essentials.
+
+// remoteRequest is the wire form of a job submission.
+type remoteRequest struct {
+	Device  string `json:"device"`
+	Format  string `json:"format"`
+	Payload string `json:"payload"`
+	Shots   int    `json:"shots"`
+}
+
+// remoteResponse is the wire form of a completed job.
+type remoteResponse struct {
+	Error           string            `json:"error,omitempty"`
+	Counts          map[string]int    `json:"counts,omitempty"`
+	Shots           int               `json:"shots"`
+	DurationSeconds float64           `json:"duration_seconds"`
+	DeviceInfo      map[string]string `json:"device_info,omitempty"`
+}
+
+// Server exposes a client's devices over TCP for remote submission.
+type Server struct {
+	client *Client
+	ln     net.Listener
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewServer starts listening on addr ("127.0.0.1:0" for an ephemeral port).
+func NewServer(c *Client, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{client: c, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer conn.Close()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		var req remoteRequest
+		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			_ = enc.Encode(remoteResponse{Error: "malformed request: " + err.Error()})
+			continue
+		}
+		resp := s.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *remoteRequest) remoteResponse {
+	tk, err := s.client.qrm.Submit(qrm.Request{
+		Device:  req.Device,
+		Payload: []byte(req.Payload),
+		Format:  qdmi.ProgramFormat(req.Format),
+		Shots:   req.Shots,
+	})
+	if err != nil {
+		return remoteResponse{Error: err.Error()}
+	}
+	res, err := tk.Wait()
+	if err != nil {
+		return remoteResponse{Error: err.Error()}
+	}
+	counts := make(map[string]int, len(res.Counts))
+	for mask, n := range res.Counts {
+		counts[fmt.Sprintf("%d", mask)] = n
+	}
+	return remoteResponse{Counts: counts, Shots: res.Shots, DurationSeconds: res.DurationSeconds}
+}
+
+// RemoteAdapter submits compiled payloads to a remote MQSS client over TCP.
+type RemoteAdapter struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	rd   *bufio.Reader
+}
+
+// NewRemoteAdapter dials the remote server.
+func NewRemoteAdapter(addr string) (*RemoteAdapter, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteAdapter{addr: addr, conn: conn, rd: bufio.NewReaderSize(conn, 1<<20)}, nil
+}
+
+// Close shuts the connection.
+func (r *RemoteAdapter) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn != nil {
+		r.conn.Close()
+		r.conn = nil
+	}
+}
+
+// SubmitPayload sends a precompiled exchange-format payload and waits for
+// the result.
+func (r *RemoteAdapter) SubmitPayload(device string, payload []byte, format qdmi.ProgramFormat, shots int) (*qpi.Result, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn == nil {
+		return nil, fmt.Errorf("client: remote adapter closed")
+	}
+	req := remoteRequest{Device: device, Format: string(format), Payload: string(payload), Shots: shots}
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.conn.Write(append(data, '\n')); err != nil {
+		return nil, err
+	}
+	line, err := r.rd.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	var resp remoteResponse
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("client: remote: %s", resp.Error)
+	}
+	counts := map[uint64]int{}
+	for k, v := range resp.Counts {
+		var mask uint64
+		if _, err := fmt.Sscanf(k, "%d", &mask); err != nil {
+			return nil, fmt.Errorf("client: remote counts key %q: %v", k, err)
+		}
+		counts[mask] = v
+	}
+	return &qpi.Result{Counts: counts, Shots: resp.Shots, DurationSeconds: resp.DurationSeconds}, nil
+}

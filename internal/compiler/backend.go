@@ -1,0 +1,286 @@
+package compiler
+
+import (
+	"fmt"
+	"time"
+
+	"mqsspulse/internal/mlir"
+	"mqsspulse/internal/passes"
+	"mqsspulse/internal/qdmi"
+	"mqsspulse/internal/qir"
+	"mqsspulse/internal/qpi"
+)
+
+// Backend lowers a (fully pulse-level) MLIR module into a QIR Pulse-Profile
+// exchange module. Remaining gate-level ops are emitted as QIS intrinsic
+// calls so hybrid modules stay representable (paper Listing 3 mixes both).
+func Backend(m *mlir.Module, dev qdmi.Device) (*qir.Module, error) {
+	if err := m.Verify(); err != nil {
+		return nil, err
+	}
+	if len(m.Sequences) != 1 {
+		return nil, fmt.Errorf("compiler: backend expects one sequence, got %d", len(m.Sequences))
+	}
+	seq := m.Sequences[0]
+	out := &qir.Module{
+		ID:        seq.Name,
+		Profile:   qir.ProfileBase,
+		EntryName: seq.Name,
+	}
+	// Port handle table from the sequence's frame arguments.
+	frameHandle := map[string]int64{}
+	for i, a := range seq.Args {
+		if a.Type != mlir.TypeMixedFrame {
+			continue
+		}
+		if i >= len(seq.ArgPorts) || seq.ArgPorts[i] == "" {
+			return nil, fmt.Errorf("compiler: frame arg %%%s has no port binding", a.Name)
+		}
+		frameHandle[a.Name] = int64(len(out.PortNames))
+		out.PortNames = append(out.PortNames, seq.ArgPorts[i])
+	}
+	out.NumPorts = len(out.PortNames)
+
+	// Waveform constants.
+	wfOfValue := map[string]string{}
+	for _, def := range m.WaveformDefs {
+		w, err := def.Spec.Materialize()
+		if err != nil {
+			return nil, err
+		}
+		out.Waveforms = append(out.Waveforms, qir.WaveformConst{Name: def.Name, Samples: w.Samples})
+	}
+
+	// Site lookup for residual gate ops.
+	portSite := map[string]int{}
+	if dev != nil {
+		for _, p := range dev.Ports() {
+			if len(p.Sites) == 1 {
+				portSite[p.ID] = p.Sites[0]
+			}
+		}
+	}
+	qubitOfFrame := func(v mlir.Value) (int64, error) {
+		h, ok := frameHandle[v.Ref]
+		if !ok {
+			return 0, fmt.Errorf("compiler: unknown frame %%%s", v.Ref)
+		}
+		site, ok := portSite[out.PortNames[h]]
+		if !ok {
+			return 0, fmt.Errorf("compiler: port %s has no site for gate emission", out.PortNames[h])
+		}
+		return int64(site), nil
+	}
+	lit := func(v mlir.Value) (float64, error) {
+		if v.IsRef {
+			return 0, fmt.Errorf("compiler: value reference %%%s not resolvable at emission time", v.Ref)
+		}
+		return v.Lit, nil
+	}
+
+	maxQubit := int64(-1)
+	nextResult := int64(0)
+	resultOf := map[string]int64{}
+	for _, op := range seq.Ops {
+		switch o := op.(type) {
+		case *mlir.WaveformRefOp:
+			wfOfValue[o.Result] = o.Waveform
+		case *mlir.PlayOp:
+			sym, ok := wfOfValue[o.Waveform.Ref]
+			if !ok {
+				return nil, fmt.Errorf("compiler: play of unbound waveform value %%%s", o.Waveform.Ref)
+			}
+			out.Body = append(out.Body, qir.Call{Callee: qir.IntrPlay,
+				Args: []qir.Arg{qir.PortArg(frameHandle[o.Frame.Ref]), qir.WaveformArg(sym)}})
+		case *mlir.FrameChangeOp:
+			f, err := lit(o.Freq)
+			if err != nil {
+				return nil, err
+			}
+			p, err := lit(o.Phase)
+			if err != nil {
+				return nil, err
+			}
+			out.Body = append(out.Body, qir.Call{Callee: qir.IntrFrameChange,
+				Args: []qir.Arg{qir.PortArg(frameHandle[o.Frame.Ref]), qir.F64Arg(f), qir.F64Arg(p)}})
+		case *mlir.ShiftPhaseOp:
+			p, err := lit(o.Phase)
+			if err != nil {
+				return nil, err
+			}
+			out.Body = append(out.Body, qir.Call{Callee: qir.IntrShiftPhase,
+				Args: []qir.Arg{qir.PortArg(frameHandle[o.Frame.Ref]), qir.F64Arg(p)}})
+		case *mlir.SetPhaseOp:
+			p, err := lit(o.Phase)
+			if err != nil {
+				return nil, err
+			}
+			out.Body = append(out.Body, qir.Call{Callee: qir.IntrSetPhase,
+				Args: []qir.Arg{qir.PortArg(frameHandle[o.Frame.Ref]), qir.F64Arg(p)}})
+		case *mlir.ShiftFrequencyOp:
+			f, err := lit(o.Freq)
+			if err != nil {
+				return nil, err
+			}
+			out.Body = append(out.Body, qir.Call{Callee: qir.IntrShiftFrequency,
+				Args: []qir.Arg{qir.PortArg(frameHandle[o.Frame.Ref]), qir.F64Arg(f)}})
+		case *mlir.SetFrequencyOp:
+			f, err := lit(o.Freq)
+			if err != nil {
+				return nil, err
+			}
+			out.Body = append(out.Body, qir.Call{Callee: qir.IntrSetFrequency,
+				Args: []qir.Arg{qir.PortArg(frameHandle[o.Frame.Ref]), qir.F64Arg(f)}})
+		case *mlir.DelayOp:
+			out.Body = append(out.Body, qir.Call{Callee: qir.IntrDelay,
+				Args: []qir.Arg{qir.PortArg(frameHandle[o.Frame.Ref]), qir.I64Arg(o.Samples)}})
+		case *mlir.BarrierOp:
+			var args []qir.Arg
+			for _, f := range o.Frames {
+				args = append(args, qir.PortArg(frameHandle[f.Ref]))
+			}
+			if len(o.Frames) == 0 {
+				for _, h := range frameHandle {
+					args = append(args, qir.PortArg(h))
+				}
+				sortPortArgs(args)
+			}
+			out.Body = append(out.Body, qir.Call{Callee: qir.IntrBarrier, Args: args})
+		case *mlir.CaptureOp:
+			r := nextResult
+			nextResult++
+			resultOf[o.Result] = r
+			out.Body = append(out.Body, qir.Call{Callee: qir.IntrCapture,
+				Args: []qir.Arg{qir.PortArg(frameHandle[o.Frame.Ref]), qir.ResultArg(r), qir.I64Arg(o.Samples)}})
+		case *mlir.StandardGateOp:
+			callee, ok := qir.GateIntrinsics[o.Gate]
+			if !ok {
+				return nil, fmt.Errorf("compiler: gate %q has no QIS intrinsic", o.Gate)
+			}
+			var args []qir.Arg
+			for _, p := range o.Params {
+				args = append(args, qir.F64Arg(p))
+			}
+			for _, f := range o.Frames {
+				q, err := qubitOfFrame(f)
+				if err != nil {
+					return nil, err
+				}
+				if q > maxQubit {
+					maxQubit = q
+				}
+				args = append(args, qir.QubitArg(q))
+			}
+			out.Body = append(out.Body, qir.Call{Callee: callee, Args: args})
+		case *mlir.ReturnOp:
+			// Terminator; result count already tracked.
+		default:
+			return nil, fmt.Errorf("compiler: backend cannot emit %T", op)
+		}
+	}
+	out.NumResults = int(nextResult)
+	out.NumQubits = int(maxQubit + 1)
+	if out.UsesPulse() {
+		out.Profile = qir.ProfilePulse
+	}
+	if err := out.Verify(); err != nil {
+		return nil, fmt.Errorf("compiler: backend produced invalid QIR: %w", err)
+	}
+	return out, nil
+}
+
+func sortPortArgs(args []qir.Arg) {
+	for i := 1; i < len(args); i++ {
+		for j := i; j > 0 && args[j].I < args[j-1].I; j-- {
+			args[j], args[j-1] = args[j-1], args[j]
+		}
+	}
+}
+
+// StageTimings reports where compilation time went.
+type StageTimings struct {
+	Frontend time.Duration
+	Midend   time.Duration
+	Backend  time.Duration
+	Passes   []passes.PassTiming
+}
+
+// Result bundles the artifacts of one JIT compilation.
+type Result struct {
+	MLIR    *mlir.Module
+	QIR     *qir.Module
+	Payload []byte
+	Timings StageTimings
+	Stats   map[string]int
+}
+
+// Compile is the end-to-end JIT path: QPI kernel → MLIR → pass pipeline
+// (with QDMI queries against the target) → QIR Pulse Profile payload.
+func Compile(c *qpi.Circuit, dev qdmi.Device) (*Result, error) {
+	res := &Result{}
+	t0 := time.Now()
+	m, err := Frontend(c, dev)
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.Frontend = time.Since(t0)
+
+	t1 := time.Now()
+	ctx := passes.NewContext(dev)
+	pm := passes.DefaultPipeline()
+	if err := pm.Run(m, ctx); err != nil {
+		return nil, err
+	}
+	res.Timings.Midend = time.Since(t1)
+	res.Timings.Passes = ctx.Timings
+	res.Stats = ctx.Stats
+	res.MLIR = m
+
+	t2 := time.Now()
+	q, err := Backend(m, dev)
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.Backend = time.Since(t2)
+	res.QIR = q
+	res.Payload = []byte(q.Emit())
+	return res, nil
+}
+
+// CompileMLIRText is the adapter path for jobs arriving as MLIR text (the
+// paper's Qiskit/CUDAQ adapters produce IR rather than QPI calls): parse,
+// run the pipeline, emit QIR.
+func CompileMLIRText(src string, dev qdmi.Device) (*Result, error) {
+	res := &Result{}
+	m, err := mlir.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	t1 := time.Now()
+	ctx := passes.NewContext(dev)
+	if err := passes.DefaultPipeline().Run(m, ctx); err != nil {
+		return nil, err
+	}
+	res.Timings.Midend = time.Since(t1)
+	res.Timings.Passes = ctx.Timings
+	res.Stats = ctx.Stats
+	res.MLIR = m
+
+	t2 := time.Now()
+	q, err := Backend(m, dev)
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.Backend = time.Since(t2)
+	res.QIR = q
+	res.Payload = []byte(q.Emit())
+	return res, nil
+}
+
+// FormatFor returns the QDMI submission format for a compiled module.
+func FormatFor(q *qir.Module) qdmi.ProgramFormat {
+	if q.UsesPulse() {
+		return qdmi.FormatQIRPulse
+	}
+	return qdmi.FormatQIRBase
+}

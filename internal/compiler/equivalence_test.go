@@ -1,0 +1,183 @@
+package compiler
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mqsspulse/internal/devices"
+	"mqsspulse/internal/linalg"
+	"mqsspulse/internal/qdmi"
+	"mqsspulse/internal/qpi"
+)
+
+// idealDevice builds a 2-transmon device with perfect readout and very long
+// coherence so that compiled-circuit statistics can be compared against
+// exact state-vector simulation.
+func idealDevice(t *testing.T) *devices.SimDevice {
+	t.Helper()
+	cfg := devices.Config{
+		Name:         "ideal-sc",
+		Technology:   "superconducting",
+		Version:      "test",
+		SampleRateHz: 1e9,
+		Granularity:  8,
+		MinSamples:   8,
+		MaxSamples:   1 << 16,
+		Sites: []devices.SiteConfig{
+			{Dim: 3, FreqHz: 4.9e9, AnharmHz: -220e6, T1Seconds: 1, T2Seconds: 1},
+			{Dim: 3, FreqHz: 5.05e9, AnharmHz: -220e6, T1Seconds: 1, T2Seconds: 1},
+		},
+		Couplings:       []devices.CouplingConfig{{A: 0, Kind: devices.CouplingZZ, RabiHz: 25e6}},
+		DriveRabiHz:     40e6,
+		GateSamples:     32,
+		ReadoutSamples:  96,
+		ReadoutFidelity: 1.0,
+		DragBeta:        0.72,
+		Seed:            55,
+	}
+	d, err := devices.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// gateMatrix returns the ideal 2-qubit unitary of a QPI op.
+func gateMatrix(op qpi.Op) *linalg.Matrix {
+	var m1 *linalg.Matrix
+	switch op.Gate {
+	case "x":
+		m1 = linalg.PauliX()
+	case "y":
+		m1 = linalg.PauliY()
+	case "z":
+		m1 = linalg.PauliZ()
+	case "h":
+		m1 = linalg.Hadamard()
+	case "s":
+		m1 = linalg.SGate()
+	case "t":
+		m1 = linalg.TGate()
+	case "sx":
+		u, _ := linalg.ExpI(linalg.PauliX(), math.Pi/4)
+		m1 = u
+	case "rx":
+		m1 = linalg.RX(op.Params[0])
+	case "ry":
+		m1 = linalg.RY(op.Params[0])
+	case "rz":
+		m1 = linalg.RZ(op.Params[0])
+	case "cz":
+		return linalg.EmbedTwo(linalg.CZ(), []int{2, 2}, 0)
+	case "cx":
+		if op.Qubits[0] == 0 {
+			return linalg.EmbedTwo(linalg.CNOT(), []int{2, 2}, 0)
+		}
+		// control=1, target=0: swap-conjugated CNOT.
+		sw := linalg.FromRows([][]complex128{
+			{1, 0, 0, 0}, {0, 0, 1, 0}, {0, 1, 0, 0}, {0, 0, 0, 1},
+		})
+		return sw.Mul(linalg.EmbedTwo(linalg.CNOT(), []int{2, 2}, 0)).Mul(sw)
+	}
+	return linalg.EmbedAt(m1, []int{2, 2}, op.Qubits[0])
+}
+
+// idealDistribution computes the exact Z-basis outcome distribution of a
+// gate-only circuit with classical bit b = qubit b.
+func idealDistribution(ops []qpi.Op) []float64 {
+	psi := []complex128{1, 0, 0, 0}
+	for _, op := range ops {
+		if op.Kind != qpi.OpGate {
+			continue
+		}
+		psi = gateMatrix(op).MulVec(psi)
+	}
+	probs := make([]float64, 4)
+	for i, a := range psi {
+		// State index is big-endian (qubit0 = MSB); classical mask is
+		// little-endian in bit index. Remap.
+		q0 := (i >> 1) & 1
+		q1 := i & 1
+		mask := q0 | q1<<1
+		probs[mask] += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return probs
+}
+
+// TestRandomCircuitEquivalence is the strongest end-to-end check in the
+// repository: random gate circuits are compiled through QPI → MLIR → passes
+// → QIR → device lowering → Hamiltonian-level execution, and the measured
+// distributions are compared against exact state-vector results. Any sign
+// or convention error anywhere in the lowering chain shows up here.
+func TestRandomCircuitEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("random equivalence sweep in -short mode")
+	}
+	dev := idealDevice(t)
+	rng := rand.New(rand.NewSource(123))
+	gates1q := []string{"x", "y", "z", "h", "s", "t", "sx"}
+	rot1q := []string{"rx", "ry", "rz"}
+
+	const trials = 12
+	const shots = 3000
+	for trial := 0; trial < trials; trial++ {
+		c := qpi.NewCircuit("rand", 2, 2)
+		depth := 2 + rng.Intn(5)
+		for d := 0; d < depth; d++ {
+			switch rng.Intn(4) {
+			case 0:
+				c.Gate(gates1q[rng.Intn(len(gates1q))], []int{rng.Intn(2)})
+			case 1:
+				c.Gate(rot1q[rng.Intn(len(rot1q))], []int{rng.Intn(2)},
+					rng.Float64()*2*math.Pi-math.Pi)
+			case 2:
+				c.CZ(0, 1)
+			case 3:
+				if rng.Intn(2) == 0 {
+					c.CX(0, 1)
+				} else {
+					c.CX(1, 0)
+				}
+			}
+		}
+		c.Measure(0, 0).Measure(1, 1)
+		if err := c.End(); err != nil {
+			t.Fatal(err)
+		}
+		want := idealDistribution(c.Ops)
+
+		res, err := Compile(c, dev)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v", trial, err)
+		}
+		job, err := dev.SubmitJob(res.Payload, FormatFor(res.QIR), shots)
+		if err != nil {
+			t.Fatalf("trial %d: submit: %v", trial, err)
+		}
+		if st := job.Wait(); st != qdmi.JobDone {
+			_, rerr := job.Result()
+			t.Fatalf("trial %d: job %v: %v", trial, st, rerr)
+		}
+		out, err := job.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Total-variation distance between measured and ideal.
+		var tv float64
+		var total int
+		for mask := uint64(0); mask < 4; mask++ {
+			total += out.Counts[mask]
+			p := float64(out.Counts[mask]) / float64(shots)
+			tv += math.Abs(p - want[mask])
+		}
+		tv /= 2
+		if total != shots {
+			t.Fatalf("trial %d: counts outside 2-bit space (total %d)", trial, total)
+		}
+		if tv > 0.06 {
+			t.Fatalf("trial %d (depth %d): TV distance %.4f\nops: %+v\nwant %v\ngot %v",
+				trial, depth, tv, c.Ops, want, out.Counts)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package compiler is the MQSS compiler driver (paper Fig. 2, "QRM &
+// Compiler Infrastructure"): it turns QPI kernels into MLIR pulse-dialect
+// modules (frontend), runs the dialect pass pipeline with QDMI-informed
+// lowering (midend), and emits QIR Pulse-Profile exchange modules
+// (backend). Compile is the JIT entry point the client invokes per job.
+package compiler
+
+import (
+	"fmt"
+	"math"
+
+	"mqsspulse/internal/mlir"
+	"mqsspulse/internal/pulse"
+	"mqsspulse/internal/qdmi"
+	"mqsspulse/internal/qpi"
+)
+
+// portPlan resolves which hardware ports a kernel touches and assigns the
+// sequence's mixed-frame arguments.
+type portPlan struct {
+	// ordered port IDs; arg i of the sequence binds ports[i].
+	ports []string
+	// argName[i] is the SSA name of the frame argument for ports[i].
+	argNames []string
+	index    map[string]int
+}
+
+func (pp *portPlan) add(port string) {
+	if _, ok := pp.index[port]; ok {
+		return
+	}
+	pp.index[port] = len(pp.ports)
+	pp.ports = append(pp.ports, port)
+	pp.argNames = append(pp.argNames, fmt.Sprintf("f%d", len(pp.ports)-1))
+}
+
+func (pp *portPlan) frame(port string) mlir.Value {
+	return mlir.Ref(pp.argNames[pp.index[port]])
+}
+
+// deviceTopology caches the port layout of the target device.
+type deviceTopology struct {
+	drive   map[int]string
+	readout map[int]string
+	coupler map[[2]int]string
+	// readoutWindow is the capture length in samples.
+	readoutWindow int64
+}
+
+func topologyOf(dev qdmi.Device) (*deviceTopology, error) {
+	t := &deviceTopology{drive: map[int]string{}, readout: map[int]string{}, coupler: map[[2]int]string{}}
+	for _, p := range dev.Ports() {
+		switch {
+		case p.Kind == pulse.PortDrive && len(p.Sites) == 1:
+			t.drive[p.Sites[0]] = p.ID
+		case p.Kind == pulse.PortReadout && len(p.Sites) == 1:
+			t.readout[p.Sites[0]] = p.ID
+		case p.Kind == pulse.PortCoupler && len(p.Sites) == 2:
+			a, b := p.Sites[0], p.Sites[1]
+			if a > b {
+				a, b = b, a
+			}
+			t.coupler[[2]int{a, b}] = p.ID
+		}
+	}
+	t.readoutWindow = 128
+	if impl, err := dev.DefaultPulse("measure", []int{0}); err == nil {
+		for _, st := range impl.Steps {
+			if st.Kind == "capture" {
+				t.readoutWindow = st.Samples
+			}
+		}
+	}
+	return t, nil
+}
+
+// Frontend converts a finished QPI kernel into an MLIR pulse-dialect module
+// targeting the given device's port layout. Gate operations become
+// pulse.standard_* ops for the pass pipeline to lower; pulse operations map
+// 1:1 onto dialect ops.
+func Frontend(c *qpi.Circuit, dev qdmi.Device) (*mlir.Module, error) {
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	if !c.Finished() {
+		return nil, fmt.Errorf("compiler: circuit %q not finished", c.Name)
+	}
+	topo, err := topologyOf(dev)
+	if err != nil {
+		return nil, err
+	}
+	plan := &portPlan{index: map[string]int{}}
+	// Pass 1: collect every port the kernel touches, in first-use order.
+	for _, op := range c.Ops {
+		switch op.Kind {
+		case qpi.OpGate:
+			for _, q := range op.Qubits {
+				port, ok := topo.drive[q]
+				if !ok {
+					return nil, fmt.Errorf("compiler: device has no drive port for qubit %d", q)
+				}
+				plan.add(port)
+			}
+			if len(op.Qubits) == 2 {
+				a, b := op.Qubits[0], op.Qubits[1]
+				if a > b {
+					a, b = b, a
+				}
+				port, ok := topo.coupler[[2]int{a, b}]
+				if !ok {
+					return nil, fmt.Errorf("compiler: device has no coupler for qubits %d,%d", a, b)
+				}
+				plan.add(port)
+			}
+		case qpi.OpPlayWaveform, qpi.OpFrameChange, qpi.OpDelay:
+			if op.Port != "" {
+				plan.add(op.Port)
+			}
+		case qpi.OpMeasure:
+			dp, ok := topo.drive[op.Qubit]
+			if !ok {
+				return nil, fmt.Errorf("compiler: no drive port for qubit %d", op.Qubit)
+			}
+			rp, ok := topo.readout[op.Qubit]
+			if !ok {
+				return nil, fmt.Errorf("compiler: no readout port for qubit %d", op.Qubit)
+			}
+			plan.add(dp)
+			plan.add(rp)
+		}
+	}
+	if len(plan.ports) == 0 {
+		return nil, fmt.Errorf("compiler: kernel %q touches no hardware ports", c.Name)
+	}
+
+	m := &mlir.Module{}
+	seq := &mlir.Sequence{Name: c.Name}
+	for i, port := range plan.ports {
+		seq.Args = append(seq.Args, mlir.Arg{Name: plan.argNames[i], Type: mlir.TypeMixedFrame})
+		seq.ArgPorts = append(seq.ArgPorts, port)
+	}
+
+	// Waveform defs from the kernel.
+	for name, w := range c.Waveforms {
+		spec := w.ToSpec()
+		spec.Name = name
+		m.WaveformDefs = append(m.WaveformDefs, &mlir.WaveformDef{Name: name, Spec: spec})
+	}
+	// Deterministic def order (map iteration is random).
+	sortWaveformDefs(m.WaveformDefs)
+
+	// Pass 2: emit ops.
+	wfValue := map[string]mlir.Value{}
+	nextVal := 0
+	var captureNames []string
+	for _, op := range c.Ops {
+		switch op.Kind {
+		case qpi.OpGate:
+			for _, p := range op.Params {
+				if !angleOK(p) {
+					return nil, fmt.Errorf("compiler: gate %s has non-finite parameter %v", op.Gate, p)
+				}
+			}
+			frames := make([]mlir.Value, len(op.Qubits))
+			for i, q := range op.Qubits {
+				frames[i] = plan.frame(topo.drive[q])
+			}
+			seq.Ops = append(seq.Ops, &mlir.StandardGateOp{
+				Gate: op.Gate, Frames: frames, Params: append([]float64(nil), op.Params...)})
+		case qpi.OpWaveformDef:
+			nextVal++
+			val := fmt.Sprintf("w%d", nextVal)
+			seq.Ops = append(seq.Ops, &mlir.WaveformRefOp{Result: val, Waveform: op.WaveformName})
+			wfValue[op.WaveformName] = mlir.Ref(val)
+		case qpi.OpPlayWaveform:
+			v, ok := wfValue[op.WaveformName]
+			if !ok {
+				return nil, fmt.Errorf("compiler: play of unmaterialized waveform %q", op.WaveformName)
+			}
+			seq.Ops = append(seq.Ops, &mlir.PlayOp{Frame: plan.frame(op.Port), Waveform: v})
+		case qpi.OpFrameChange:
+			seq.Ops = append(seq.Ops, &mlir.FrameChangeOp{
+				Frame: plan.frame(op.Port),
+				Freq:  mlir.Lit(op.FrequencyHz),
+				Phase: mlir.Lit(op.PhaseRad),
+			})
+		case qpi.OpDelay:
+			seq.Ops = append(seq.Ops, &mlir.DelayOp{Frame: plan.frame(op.Port), Samples: op.DelaySamples})
+		case qpi.OpBarrier:
+			seq.Ops = append(seq.Ops, &mlir.BarrierOp{}) // all frames
+		case qpi.OpMeasure:
+			dp := topo.drive[op.Qubit]
+			rp := topo.readout[op.Qubit]
+			seq.Ops = append(seq.Ops, &mlir.BarrierOp{
+				Frames: []mlir.Value{plan.frame(dp), plan.frame(rp)}})
+			name := fmt.Sprintf("m%d", op.Cbit)
+			seq.Ops = append(seq.Ops, &mlir.CaptureOp{
+				Result: name, Frame: plan.frame(rp), Samples: topo.readoutWindow})
+			captureNames = append(captureNames, name)
+			seq.Results = append(seq.Results, mlir.TypeI1)
+		default:
+			return nil, fmt.Errorf("compiler: unsupported QPI op kind %v", op.Kind)
+		}
+	}
+	ret := &mlir.ReturnOp{}
+	for _, n := range captureNames {
+		ret.Values = append(ret.Values, mlir.Ref(n))
+	}
+	seq.Ops = append(seq.Ops, ret)
+	m.Sequences = append(m.Sequences, seq)
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("compiler: frontend produced invalid module: %w", err)
+	}
+	return m, nil
+}
+
+func sortWaveformDefs(defs []*mlir.WaveformDef) {
+	for i := 1; i < len(defs); i++ {
+		for j := i; j > 0 && defs[j].Name < defs[j-1].Name; j-- {
+			defs[j], defs[j-1] = defs[j-1], defs[j]
+		}
+	}
+}
+
+// angleOK rejects non-finite gate parameters early.
+func angleOK(p float64) bool { return !math.IsNaN(p) && !math.IsInf(p, 0) }

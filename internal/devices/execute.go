@@ -1,0 +1,445 @@
+package devices
+
+import (
+	"fmt"
+	"math"
+
+	"mqsspulse/internal/pulse"
+	"mqsspulse/internal/qdmi"
+	"mqsspulse/internal/qir"
+	"mqsspulse/internal/simq"
+	"mqsspulse/internal/waveform"
+)
+
+// readoutStimulusRabiHz is the (negligible) coupling assigned to readout
+// ports so that user payloads may play readout stimulus waveforms without
+// perturbing the qubit state — dispersive readout does not drive
+// transitions.
+const readoutStimulusRabiHz = 1e3
+
+// Binding assembles the qir.DeviceBinding for a payload: port handle i of
+// the module maps to the device port named module.PortNames[i]; all
+// remaining device ports follow so calibrated gate lowering can use them.
+func (d *SimDevice) Binding(portNames []string) (*qir.DeviceBinding, error) {
+	byID := map[string]*pulse.Port{}
+	for _, p := range d.ports {
+		byID[p.ID] = p
+	}
+	var ports []*pulse.Port
+	used := map[string]bool{}
+	for _, name := range portNames {
+		p, ok := byID[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: payload references unknown port %q", qdmi.ErrInvalidArgument, name)
+		}
+		if used[name] {
+			return nil, fmt.Errorf("%w: payload references port %q twice", qdmi.ErrInvalidArgument, name)
+		}
+		used[name] = true
+		ports = append(ports, p)
+	}
+	for _, p := range d.ports {
+		if !used[p.ID] {
+			ports = append(ports, p)
+		}
+	}
+	return &qir.DeviceBinding{
+		Ports:        ports,
+		FrameFor:     d.frameFor,
+		LowerGate:    d.lowerGate,
+		LowerMeasure: d.lowerMeasure,
+	}, nil
+}
+
+// frameFor creates the initial carrier frame of a port from the calibration
+// table.
+func (d *SimDevice) frameFor(portID string) (*pulse.Frame, error) {
+	for i := range d.cfg.Sites {
+		if portID == d.drivePort[i] {
+			return pulse.NewFrame(portID+"-frame", d.CalibratedFrequency(i)), nil
+		}
+		if portID == d.readPort[i] {
+			// Readout carrier; does not influence qubit dynamics.
+			return pulse.NewFrame(portID+"-frame", d.cfg.Sites[i].FreqHz), nil
+		}
+	}
+	for _, id := range d.couplePort {
+		if portID == id {
+			return pulse.NewFrame(portID+"-frame", 0), nil
+		}
+	}
+	return nil, fmt.Errorf("%w: unknown port %q", qdmi.ErrInvalidArgument, portID)
+}
+
+// appendDrivePulse plays the calibrated single-qubit envelope rotating by
+// `angle` about the equatorial axis at `axisPhase`.
+func (d *SimDevice) appendDrivePulse(s *pulse.Schedule, site int, angle, axisPhase float64) error {
+	if angle == 0 {
+		return nil
+	}
+	if angle < 0 {
+		angle, axisPhase = -angle, axisPhase+math.Pi
+	}
+	// Wrap overly large angles into [0, 2π).
+	angle = math.Mod(angle, 2*math.Pi)
+	amp := d.CalibratedPiAmplitude(site) * angle / math.Pi
+	if amp > 1 {
+		// Angle in (π, 2π): rotate the other way about the opposite axis.
+		angle, axisPhase = 2*math.Pi-angle, axisPhase+math.Pi
+		amp = d.CalibratedPiAmplitude(site) * angle / math.Pi
+	}
+	if amp == 0 {
+		return nil
+	}
+	w, err := d.gateEnvelope(amp)
+	if err != nil {
+		return err
+	}
+	port, frame := d.drivePort[site], d.drivePort[site]+"-frame"
+	if axisPhase != 0 {
+		if err := s.Append(&pulse.ShiftPhase{Port: port, Frame: frame, Phase: axisPhase}); err != nil {
+			return err
+		}
+	}
+	if err := s.Append(&pulse.Play{Port: port, Frame: frame, Waveform: w}); err != nil {
+		return err
+	}
+	if axisPhase != 0 {
+		return s.Append(&pulse.ShiftPhase{Port: port, Frame: frame, Phase: -axisPhase})
+	}
+	return nil
+}
+
+// appendVirtualZ applies RZ(theta) as a virtual Z: commuting RZ(θ) past a
+// subsequent equatorial rotation R(φ, α) yields R(φ−θ, α), so all later
+// drive phases on the site shift by −θ (with the residual RZ deferred past
+// the Z-basis measurement, where it is unobservable).
+func (d *SimDevice) appendVirtualZ(s *pulse.Schedule, site int, theta float64) error {
+	port, frame := d.drivePort[site], d.drivePort[site]+"-frame"
+	return s.Append(&pulse.ShiftPhase{Port: port, Frame: frame, Phase: -theta})
+}
+
+// lowerGate is the device's calibrated gate→pulse lowering, invoked at QIR
+// link time (the paper's JIT stage that queries hardware constraints).
+func (d *SimDevice) lowerGate(s *pulse.Schedule, gate string, params []float64, qubits []int64) error {
+	sites := make([]int, len(qubits))
+	for i, q := range qubits {
+		if q < 0 || int(q) >= len(d.cfg.Sites) {
+			return fmt.Errorf("%w: qubit %d out of range", qdmi.ErrInvalidArgument, q)
+		}
+		sites[i] = int(q)
+	}
+	theta := 0.0
+	if len(params) > 0 {
+		theta = params[0]
+	}
+	switch gate {
+	case "x":
+		return d.appendDrivePulse(s, sites[0], math.Pi, 0)
+	case "y":
+		return d.appendDrivePulse(s, sites[0], math.Pi, math.Pi/2)
+	case "sx":
+		return d.appendDrivePulse(s, sites[0], math.Pi/2, 0)
+	case "rx":
+		return d.appendDrivePulse(s, sites[0], theta, 0)
+	case "ry":
+		return d.appendDrivePulse(s, sites[0], theta, math.Pi/2)
+	case "z":
+		return d.appendVirtualZ(s, sites[0], math.Pi)
+	case "s":
+		return d.appendVirtualZ(s, sites[0], math.Pi/2)
+	case "t":
+		return d.appendVirtualZ(s, sites[0], math.Pi/4)
+	case "rz":
+		return d.appendVirtualZ(s, sites[0], theta)
+	case "h":
+		// H ∝ RZ(π/2)·RX(π/2)·RZ(π/2): virtual-Z sandwich around one SX
+		// (appendVirtualZ handles the phase-direction convention).
+		if err := d.appendVirtualZ(s, sites[0], math.Pi/2); err != nil {
+			return err
+		}
+		if err := d.appendDrivePulse(s, sites[0], math.Pi/2, 0); err != nil {
+			return err
+		}
+		return d.appendVirtualZ(s, sites[0], math.Pi/2)
+	case "cz":
+		if len(sites) != 2 {
+			return fmt.Errorf("%w: cz arity", qdmi.ErrInvalidArgument)
+		}
+		return d.appendCZ(s, sites[0], sites[1])
+	case "cx":
+		if len(sites) != 2 {
+			return fmt.Errorf("%w: cx arity", qdmi.ErrInvalidArgument)
+		}
+		// CX = (I⊗H)·CZ·(I⊗H).
+		if err := d.lowerGate(s, "h", nil, []int64{int64(sites[1])}); err != nil {
+			return err
+		}
+		if err := d.appendCZ(s, sites[0], sites[1]); err != nil {
+			return err
+		}
+		return d.lowerGate(s, "h", nil, []int64{int64(sites[1])})
+	default:
+		return fmt.Errorf("%w: gate %q has no calibrated lowering", qdmi.ErrNotSupported, gate)
+	}
+}
+
+// appendCZ plays the coupler pulse for the pair, bracketed by barriers over
+// the two drive ports and the coupler.
+func (d *SimDevice) appendCZ(s *pulse.Schedule, a, b int) error {
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]int{a, b}
+	cp, ok := d.couplePort[key]
+	if !ok {
+		return fmt.Errorf("%w: sites %d,%d are not coupled", qdmi.ErrNotSupported, a, b)
+	}
+	w, err := d.czWaveform(a, b)
+	if err != nil {
+		return err
+	}
+	group := []string{d.drivePort[a], d.drivePort[b], cp}
+	if err := s.Append(&pulse.Barrier{Ports: group}); err != nil {
+		return err
+	}
+	if err := s.Append(&pulse.Play{Port: cp, Frame: cp + "-frame", Waveform: w}); err != nil {
+		return err
+	}
+	return s.Append(&pulse.Barrier{Ports: group})
+}
+
+// lowerMeasure barriers the site's ports and captures the readout window.
+func (d *SimDevice) lowerMeasure(s *pulse.Schedule, qubit, result int64) error {
+	if qubit < 0 || int(qubit) >= len(d.cfg.Sites) {
+		return fmt.Errorf("%w: qubit %d out of range", qdmi.ErrInvalidArgument, qubit)
+	}
+	site := int(qubit)
+	group := []string{d.drivePort[site], d.readPort[site]}
+	for pair, cp := range d.couplePort {
+		if pair[0] == site || pair[1] == site {
+			group = append(group, cp)
+		}
+	}
+	if err := s.Append(&pulse.Barrier{Ports: group}); err != nil {
+		return err
+	}
+	return s.Append(&pulse.Capture{
+		Port: d.readPort[site], Frame: d.readPort[site] + "-frame",
+		Bit: int(result), DurationSamples: d.cfg.ReadoutSamples,
+	})
+}
+
+// trueModel builds the system model from the drifted true physics: channel
+// carriers sit at the true transition frequencies, so frames tuned to
+// (stale) calibrated frequencies acquire detuning errors.
+func (d *SimDevice) trueModel() (*simq.SystemModel, error) {
+	d.mu.Lock()
+	ampScale := 1 + d.drift.ampScale.x
+	trueFreqs := make([]float64, len(d.cfg.Sites))
+	for i, s := range d.cfg.Sites {
+		trueFreqs[i] = s.FreqHz + d.drift.freqOffsetHz[i].x
+	}
+	d.mu.Unlock()
+
+	dims := make([]int, len(d.cfg.Sites))
+	for i, s := range d.cfg.Sites {
+		dims[i] = s.Dim
+	}
+	drift := simq.TransmonDrift(dims, 0, 0, d.cfg.Sites[0].AnharmHz)
+	for i := 1; i < len(d.cfg.Sites); i++ {
+		drift = drift.Add(simq.TransmonDrift(dims, i, 0, d.cfg.Sites[i].AnharmHz))
+	}
+	var channels []*simq.ControlChannel
+	var collapses []simq.Collapse
+	for i, s := range d.cfg.Sites {
+		channels = append(channels,
+			simq.TransmonDriveChannel(d.drivePort[i], dims, i, d.cfg.DriveRabiHz*ampScale, trueFreqs[i]),
+			simq.TransmonDriveChannel(d.readPort[i], dims, i, readoutStimulusRabiHz, trueFreqs[i]),
+		)
+		collapses = append(collapses, simq.RelaxationCollapses(dims, i, s.T1Seconds, s.T2Seconds)...)
+	}
+	for _, c := range d.cfg.Couplings {
+		id := d.couplePort[[2]int{c.A, c.A + 1}]
+		switch c.Kind {
+		case CouplingZZ:
+			channels = append(channels, simq.ZZCouplerChannel(id, dims, c.A, c.RabiHz*ampScale))
+		case CouplingExchange:
+			channels = append(channels, simq.ExchangeCouplerChannel(id, dims, c.A, c.RabiHz*ampScale))
+		default:
+			return nil, fmt.Errorf("devices: unknown coupling kind %d", c.Kind)
+		}
+	}
+	return simq.NewSystemModel(dims, drift, channels, collapses)
+}
+
+// SubmitJob implements qdmi.Device. Payloads are QIR modules (pulse or base
+// profile); execution happens asynchronously on the simulated hardware.
+func (d *SimDevice) SubmitJob(payload []byte, format qdmi.ProgramFormat, shots int) (qdmi.Job, error) {
+	switch format {
+	case qdmi.FormatQIRBase, qdmi.FormatQIRPulse:
+	default:
+		return nil, fmt.Errorf("%w: format %q", qdmi.ErrNotSupported, format)
+	}
+	if shots <= 0 || shots > d.cfg.MaxShots {
+		return nil, fmt.Errorf("%w: shots %d outside (0, %d]", qdmi.ErrInvalidArgument, shots, d.cfg.MaxShots)
+	}
+	mod, err := qir.ParseModule(string(payload))
+	if err != nil {
+		return nil, err
+	}
+	if mod.UsesPulse() && format != qdmi.FormatQIRPulse {
+		return nil, fmt.Errorf("%w: pulse payload under %q", qdmi.ErrInvalidArgument, format)
+	}
+	binding, err := d.Binding(mod.PortNames)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.nextJob++
+	id := fmt.Sprintf("%s-job-%d", d.cfg.Name, d.nextJob)
+	seed := d.jobRng.Int63()
+	d.mu.Unlock()
+
+	job := qdmi.NewAsyncJob(id)
+	go d.runJob(job, mod, binding, shots, seed)
+	return job, nil
+}
+
+func (d *SimDevice) runJob(job *qdmi.AsyncJob, mod *qir.Module, binding *qir.DeviceBinding, shots int, seed int64) {
+	if !job.Start() {
+		return
+	}
+	sched, err := qir.BuildSchedule(mod, binding)
+	if err != nil {
+		job.Fail(err)
+		return
+	}
+	sp, err := sched.Resolve()
+	if err != nil {
+		job.Fail(err)
+		return
+	}
+	model, err := d.trueModel()
+	if err != nil {
+		job.Fail(err)
+		return
+	}
+	pErr := 1 - d.cfg.ReadoutFidelity
+	res, err := simq.NewExecutor(model).Run(sp, simq.ExecOptions{
+		Shots:      shots,
+		Seed:       seed,
+		ReadoutP01: pErr,
+		ReadoutP10: pErr,
+	})
+	if err != nil {
+		job.Fail(err)
+		return
+	}
+	job.Finish(&qdmi.Result{
+		Counts:          res.Counts,
+		Shots:           res.Shots,
+		DurationSeconds: res.DurationSeconds,
+	})
+}
+
+// BuildScheduleForPayload is an exported hook used by benchmarks and the
+// compiler's JIT stage to lower a payload without executing it.
+func (d *SimDevice) BuildScheduleForPayload(mod *qir.Module) (*pulse.Schedule, error) {
+	binding, err := d.Binding(mod.PortNames)
+	if err != nil {
+		return nil, err
+	}
+	return qir.BuildSchedule(mod, binding)
+}
+
+// MaterializePulseImpl appends a calibrated PulseImpl onto a schedule,
+// resolving port roles ("drive0", "coupler", "readout1", ...) against the
+// concrete site tuple. It is used when clients install custom operations.
+func (d *SimDevice) MaterializePulseImpl(s *pulse.Schedule, impl *qdmi.PulseImpl, sites []int, resultBit int) error {
+	role := func(r string) (string, error) {
+		var idx int
+		switch {
+		case len(r) > 5 && r[:5] == "drive":
+			if _, err := fmt.Sscanf(r, "drive%d", &idx); err != nil || idx >= len(sites) {
+				return "", fmt.Errorf("%w: bad role %q", qdmi.ErrInvalidArgument, r)
+			}
+			return d.drivePort[sites[idx]], nil
+		case len(r) > 7 && r[:7] == "readout":
+			if _, err := fmt.Sscanf(r, "readout%d", &idx); err != nil || idx >= len(sites) {
+				return "", fmt.Errorf("%w: bad role %q", qdmi.ErrInvalidArgument, r)
+			}
+			return d.readPort[sites[idx]], nil
+		case r == "coupler":
+			if len(sites) != 2 {
+				return "", fmt.Errorf("%w: coupler role needs two sites", qdmi.ErrInvalidArgument)
+			}
+			a, b := sites[0], sites[1]
+			if a > b {
+				a, b = b, a
+			}
+			cp, ok := d.couplePort[[2]int{a, b}]
+			if !ok {
+				return "", fmt.Errorf("%w: sites %v not coupled", qdmi.ErrNotSupported, sites)
+			}
+			return cp, nil
+		default:
+			return "", fmt.Errorf("%w: unknown role %q", qdmi.ErrInvalidArgument, r)
+		}
+	}
+	for _, st := range impl.Steps {
+		switch st.Kind {
+		case "barrier":
+			if err := s.Append(&pulse.Barrier{}); err != nil {
+				return err
+			}
+			continue
+		}
+		port, err := role(st.PortRole)
+		if err != nil {
+			return err
+		}
+		frame := port + "-frame"
+		switch st.Kind {
+		case "play":
+			w, err := waveformFromSpec(st.Waveform)
+			if err != nil {
+				return err
+			}
+			err = s.Append(&pulse.Play{Port: port, Frame: frame, Waveform: w})
+			if err != nil {
+				return err
+			}
+		case "shift_phase":
+			if err := s.Append(&pulse.ShiftPhase{Port: port, Frame: frame, Phase: st.PhaseRad}); err != nil {
+				return err
+			}
+		case "set_frequency":
+			if err := s.Append(&pulse.SetFrequency{Port: port, Frame: frame, Hz: st.FreqHz}); err != nil {
+				return err
+			}
+		case "frame_change":
+			if err := s.Append(&pulse.FrameChange{Port: port, Frame: frame, Hz: st.FreqHz, Phase: st.PhaseRad}); err != nil {
+				return err
+			}
+		case "delay":
+			if err := s.Append(&pulse.Delay{Port: port, Samples: st.Samples}); err != nil {
+				return err
+			}
+		case "capture":
+			if err := s.Append(&pulse.Capture{Port: port, Frame: frame, Bit: resultBit, DurationSamples: st.Samples}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: step kind %q", qdmi.ErrInvalidArgument, st.Kind)
+		}
+	}
+	return nil
+}
+
+func waveformFromSpec(spec *waveform.Spec) (*waveform.Waveform, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("%w: play without waveform", qdmi.ErrInvalidArgument)
+	}
+	return spec.Materialize()
+}

@@ -1,0 +1,535 @@
+package devices
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"mqsspulse/internal/pulse"
+	"mqsspulse/internal/qdmi"
+	"mqsspulse/internal/waveform"
+)
+
+// SimDevice is a simulated quantum accelerator implementing qdmi.Device.
+// It owns the true (drifting) physics, a calibration table of believed
+// parameters, and executes QIR pulse-profile jobs by linking them against
+// its port/frame tables and integrating the dynamics.
+type SimDevice struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand // drift noise stream
+	// jobRng seeds per-job shot sampling; kept separate from the drift
+	// stream so identically-seeded devices drift identically regardless of
+	// how many jobs each runs.
+	jobRng *rand.Rand
+	// Simulated wall clock in seconds; drift advances with it.
+	nowSeconds float64
+	drift      *driftState
+	// Calibration table: what the control electronics believe.
+	calibFreqHz  []float64
+	calibPiAmp   []float64
+	customPulses map[string]*qdmi.PulseImpl
+	nextJob      int
+
+	ports      []*pulse.Port
+	drivePort  []string // per site
+	readPort   []string // per site
+	couplePort map[[2]int]string
+}
+
+// New builds a simulated device from a config. The device starts perfectly
+// calibrated: believed parameters equal true nominal parameters.
+func New(cfg Config) (*SimDevice, error) {
+	if len(cfg.Sites) == 0 {
+		return nil, fmt.Errorf("devices: config %q has no sites", cfg.Name)
+	}
+	if cfg.SampleRateHz <= 0 || cfg.DriveRabiHz <= 0 || cfg.GateSamples <= 0 {
+		return nil, fmt.Errorf("devices: config %q missing rates", cfg.Name)
+	}
+	if cfg.MaxShots == 0 {
+		cfg.MaxShots = 1 << 20
+	}
+	if cfg.ReadoutSamples == 0 {
+		cfg.ReadoutSamples = 128
+	}
+	if cfg.ReadoutFidelity == 0 {
+		cfg.ReadoutFidelity = 1.0
+	}
+	d := &SimDevice{
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed + 1)),
+		jobRng:       rand.New(rand.NewSource(cfg.Seed + 2)),
+		drift:        newDriftState(&cfg),
+		customPulses: map[string]*qdmi.PulseImpl{},
+		couplePort:   map[[2]int]string{},
+	}
+	for i, s := range cfg.Sites {
+		if s.Dim < 2 {
+			return nil, fmt.Errorf("devices: site %d has dim %d", i, s.Dim)
+		}
+		d.calibFreqHz = append(d.calibFreqHz, s.FreqHz)
+	}
+	// Calibrated π amplitude from the nominal Rabi rate and gate envelope.
+	unitArea := d.unitGateArea()
+	dt := 1 / cfg.SampleRateHz
+	ampPi := 1 / (2 * cfg.DriveRabiHz * unitArea * dt)
+	if ampPi > 1 {
+		return nil, fmt.Errorf("devices: config %q cannot reach a π pulse (need amp %.3g)", cfg.Name, ampPi)
+	}
+	for range cfg.Sites {
+		d.calibPiAmp = append(d.calibPiAmp, ampPi)
+	}
+	d.buildPorts()
+	return d, nil
+}
+
+// unitGateArea returns the sample-area of the unit-amplitude single-qubit
+// gate envelope.
+func (d *SimDevice) unitGateArea() float64 {
+	w, err := d.gateEnvelope(1.0)
+	if err != nil {
+		panic(fmt.Sprintf("devices: gate envelope: %v", err))
+	}
+	return w.Area()
+}
+
+// gateEnvelope materializes the device's standard single-qubit pulse shape
+// at the given amplitude.
+func (d *SimDevice) gateEnvelope(amp float64) (*waveform.Waveform, error) {
+	n := d.cfg.GateSamples
+	if d.cfg.DragBeta != 0 {
+		return waveform.DRAG{Amplitude: amp, SigmaFrac: 0.2, Beta: d.cfg.DragBeta}.Materialize("xpulse", n)
+	}
+	return waveform.Gaussian{Amplitude: amp, SigmaFrac: 0.2}.Materialize("xpulse", n)
+}
+
+func (d *SimDevice) buildPorts() {
+	gran := d.cfg.Granularity
+	if gran == 0 {
+		gran = 1
+	}
+	for i := range d.cfg.Sites {
+		dp := &pulse.Port{
+			ID: fmt.Sprintf("q%d-drive", i), Kind: pulse.PortDrive, Sites: []int{i},
+			SampleRateHz: d.cfg.SampleRateHz, Granularity: gran,
+			MinSamples: d.cfg.MinSamples, MaxSamples: d.cfg.MaxSamples, MaxAmplitude: 1.0,
+		}
+		rp := &pulse.Port{
+			ID: fmt.Sprintf("q%d-readout", i), Kind: pulse.PortReadout, Sites: []int{i},
+			SampleRateHz: d.cfg.SampleRateHz, Granularity: gran,
+			MinSamples: d.cfg.MinSamples, MaxSamples: d.cfg.MaxSamples, MaxAmplitude: 1.0,
+		}
+		d.ports = append(d.ports, dp, rp)
+		d.drivePort = append(d.drivePort, dp.ID)
+		d.readPort = append(d.readPort, rp.ID)
+	}
+	for _, c := range d.cfg.Couplings {
+		cp := &pulse.Port{
+			ID: fmt.Sprintf("q%dq%d-coupler", c.A, c.A+1), Kind: pulse.PortCoupler,
+			Sites: []int{c.A, c.A + 1}, SampleRateHz: d.cfg.SampleRateHz, Granularity: gran,
+			MinSamples: d.cfg.MinSamples, MaxSamples: d.cfg.MaxSamples, MaxAmplitude: 1.0,
+		}
+		d.ports = append(d.ports, cp)
+		d.couplePort[[2]int{c.A, c.A + 1}] = cp.ID
+	}
+}
+
+// Name implements qdmi.Device.
+func (d *SimDevice) Name() string { return d.cfg.Name }
+
+// AdvanceTime moves the simulated wall clock forward, evolving the drift
+// processes. Calibration experiments call this to emulate hours of
+// operation.
+func (d *SimDevice) AdvanceTime(seconds float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Subdivide long advances so OU statistics stay faithful.
+	remaining := seconds
+	for remaining > 0 {
+		step := math.Min(remaining, math.Max(1, d.cfg.Drift.FreqTauSeconds/50))
+		d.drift.advance(step, d.rng)
+		d.nowSeconds += step
+		remaining -= step
+	}
+}
+
+// Now returns the simulated wall-clock time in seconds.
+func (d *SimDevice) Now() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nowSeconds
+}
+
+// TrueFrequency returns the current drifted transition frequency of a site.
+// It exists for experiment reporting; calibration routines must not use it.
+func (d *SimDevice) TrueFrequency(site int) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cfg.Sites[site].FreqHz + d.drift.freqOffsetHz[site].x
+}
+
+// TrueAmpScale returns the current drifted drive-amplitude scale (≈1).
+func (d *SimDevice) TrueAmpScale() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return 1 + d.drift.ampScale.x
+}
+
+// CalibratedFrequency returns the believed transition frequency of a site.
+func (d *SimDevice) CalibratedFrequency(site int) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.calibFreqHz[site]
+}
+
+// SetCalibratedFrequency updates the calibration table (what Ramsey-style
+// routines write back).
+func (d *SimDevice) SetCalibratedFrequency(site int, hz float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.calibFreqHz[site] = hz
+}
+
+// CalibratedPiAmplitude returns the believed full-π pulse amplitude.
+func (d *SimDevice) CalibratedPiAmplitude(site int) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.calibPiAmp[site]
+}
+
+// SetCalibratedPiAmplitude updates the calibration table (what Rabi-style
+// routines write back).
+func (d *SimDevice) SetCalibratedPiAmplitude(site int, amp float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.calibPiAmp[site] = amp
+}
+
+// QueryDeviceProperty implements qdmi.Device.
+func (d *SimDevice) QueryDeviceProperty(p qdmi.DeviceProperty) (any, error) {
+	switch p {
+	case qdmi.DevicePropName:
+		return d.cfg.Name, nil
+	case qdmi.DevicePropVersion:
+		return d.cfg.Version, nil
+	case qdmi.DevicePropTechnology:
+		return d.cfg.Technology, nil
+	case qdmi.DevicePropNumSites:
+		return len(d.cfg.Sites), nil
+	case qdmi.DevicePropSampleRateHz:
+		return d.cfg.SampleRateHz, nil
+	case qdmi.DevicePropPulseSupport:
+		return qdmi.PulsePortLevel, nil
+	case qdmi.DevicePropWaveformKinds:
+		return waveform.Kinds(), nil
+	case qdmi.DevicePropNativeGates:
+		return []string{"x", "y", "z", "h", "s", "t", "sx", "rx", "ry", "rz", "cz", "cx"}, nil
+	case qdmi.DevicePropProgramFormats:
+		return []qdmi.ProgramFormat{qdmi.FormatQIRBase, qdmi.FormatQIRPulse}, nil
+	case qdmi.DevicePropMaxShots:
+		return d.cfg.MaxShots, nil
+	case qdmi.DevicePropGranularity:
+		if d.cfg.Granularity == 0 {
+			return 1, nil
+		}
+		return d.cfg.Granularity, nil
+	case qdmi.DevicePropMinPulseSamples:
+		return d.cfg.MinSamples, nil
+	case qdmi.DevicePropMaxPulseSamples:
+		return d.cfg.MaxSamples, nil
+	default:
+		return nil, qdmi.ErrNotSupported
+	}
+}
+
+// NumSites implements qdmi.Device.
+func (d *SimDevice) NumSites() int { return len(d.cfg.Sites) }
+
+// QuerySiteProperty implements qdmi.Device.
+func (d *SimDevice) QuerySiteProperty(site int, p qdmi.SiteProperty) (any, error) {
+	if site < 0 || site >= len(d.cfg.Sites) {
+		return nil, fmt.Errorf("%w: site %d", qdmi.ErrInvalidArgument, site)
+	}
+	s := d.cfg.Sites[site]
+	switch p {
+	case qdmi.SitePropFrequencyHz:
+		return d.CalibratedFrequency(site), nil
+	case qdmi.SitePropT1Seconds:
+		return s.T1Seconds, nil
+	case qdmi.SitePropT2Seconds:
+		return s.T2Seconds, nil
+	case qdmi.SitePropAnharmonicityHz:
+		return s.AnharmHz, nil
+	case qdmi.SitePropReadoutFidelity:
+		return d.cfg.ReadoutFidelity, nil
+	case qdmi.SitePropConnectivity:
+		var out []int
+		for _, c := range d.cfg.Couplings {
+			if c.A == site {
+				out = append(out, c.A+1)
+			}
+			if c.A+1 == site {
+				out = append(out, c.A)
+			}
+		}
+		sort.Ints(out)
+		return out, nil
+	default:
+		return nil, qdmi.ErrNotSupported
+	}
+}
+
+// Operations implements qdmi.Device.
+func (d *SimDevice) Operations() []string {
+	ops := []string{"x", "y", "z", "h", "s", "t", "sx", "rx", "ry", "rz", "cz", "cx", "measure"}
+	d.mu.Lock()
+	for k := range d.customPulses {
+		ops = append(ops, customOpName(k))
+	}
+	d.mu.Unlock()
+	sort.Strings(ops)
+	return ops
+}
+
+// QueryOperationProperty implements qdmi.Device.
+func (d *SimDevice) QueryOperationProperty(op string, sites []int, p qdmi.OperationProperty) (any, error) {
+	switch p {
+	case qdmi.OpPropDurationSeconds:
+		dt := 1 / d.cfg.SampleRateHz
+		switch op {
+		case "z", "s", "t", "rz":
+			return 0.0, nil // virtual
+		case "cz", "cx":
+			return float64(d.czSamples()) * dt, nil
+		case "measure":
+			return float64(d.cfg.ReadoutSamples) * dt, nil
+		default:
+			return float64(d.cfg.GateSamples) * dt, nil
+		}
+	case qdmi.OpPropFidelity:
+		return d.estimateGateFidelity(op, sites), nil
+	case qdmi.OpPropArity:
+		switch op {
+		case "cz", "cx":
+			return 2, nil
+		default:
+			return 1, nil
+		}
+	case qdmi.OpPropParamCount:
+		switch op {
+		case "rx", "ry", "rz":
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case qdmi.OpPropHasPulseImpl:
+		if _, err := d.DefaultPulse(op, sites); err != nil {
+			return false, nil
+		}
+		return true, nil
+	default:
+		return nil, qdmi.ErrNotSupported
+	}
+}
+
+// estimateGateFidelity gives the control-error estimate exposed through
+// QDMI: the coherent infidelity from frequency miscalibration and amplitude
+// drift. (Decoherence contributions are visible in job results instead.)
+func (d *SimDevice) estimateGateFidelity(op string, sites []int) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	site := 0
+	if len(sites) > 0 {
+		site = sites[0]
+	}
+	if site < 0 || site >= len(d.cfg.Sites) {
+		return 0
+	}
+	switch op {
+	case "z", "s", "t", "rz":
+		return 1.0 // virtual gates are exact
+	}
+	// Detuning error relative to effective Rabi frequency during the gate.
+	detune := d.calibFreqHz[site] - (d.cfg.Sites[site].FreqHz + d.drift.freqOffsetHz[site].x)
+	gateT := float64(d.cfg.GateSamples) / d.cfg.SampleRateHz
+	omega := math.Pi / gateT // average angular speed of a π pulse
+	off := 2 * math.Pi * detune / (2 * omega)
+	infidDetune := off * off
+	ampErr := d.drift.ampScale.x
+	infidAmp := (math.Pi * math.Pi / 4) * ampErr * ampErr
+	f := 1 - infidDetune - infidAmp
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Ports implements qdmi.Device.
+func (d *SimDevice) Ports() []*pulse.Port { return d.ports }
+
+// QueryPortProperty implements qdmi.Device.
+func (d *SimDevice) QueryPortProperty(portID string, p qdmi.PortProperty) (any, error) {
+	var port *pulse.Port
+	for _, q := range d.ports {
+		if q.ID == portID {
+			port = q
+			break
+		}
+	}
+	if port == nil {
+		return nil, fmt.Errorf("%w: unknown port %q", qdmi.ErrInvalidArgument, portID)
+	}
+	switch p {
+	case qdmi.PortPropKind:
+		return port.Kind, nil
+	case qdmi.PortPropSites:
+		return append([]int(nil), port.Sites...), nil
+	case qdmi.PortPropSampleRateHz:
+		return port.SampleRateHz, nil
+	case qdmi.PortPropGranularity:
+		return port.Granularity, nil
+	case qdmi.PortPropMinSamples:
+		return port.MinSamples, nil
+	case qdmi.PortPropMaxSamples:
+		return port.MaxSamples, nil
+	case qdmi.PortPropMaxAmplitude:
+		return port.MaxAmplitude, nil
+	default:
+		return nil, qdmi.ErrNotSupported
+	}
+}
+
+func customOpName(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '@' {
+			return key[:i]
+		}
+	}
+	return key
+}
+
+func implKey(op string, sites []int) string { return fmt.Sprintf("%s@%v", op, sites) }
+
+// DefaultPulse implements qdmi.Device: it returns the calibrated pulse
+// implementation of an operation, synthesized on demand from the current
+// calibration table.
+func (d *SimDevice) DefaultPulse(op string, sites []int) (*qdmi.PulseImpl, error) {
+	d.mu.Lock()
+	if impl, ok := d.customPulses[implKey(op, sites)]; ok {
+		d.mu.Unlock()
+		return impl, nil
+	}
+	d.mu.Unlock()
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("%w: DefaultPulse needs a site tuple", qdmi.ErrInvalidArgument)
+	}
+	site := sites[0]
+	if site < 0 || site >= len(d.cfg.Sites) {
+		return nil, fmt.Errorf("%w: site %d", qdmi.ErrInvalidArgument, site)
+	}
+	switch op {
+	case "x", "sx":
+		amp := d.CalibratedPiAmplitude(site)
+		if op == "sx" {
+			amp /= 2
+		}
+		w, err := d.gateEnvelope(amp)
+		if err != nil {
+			return nil, err
+		}
+		spec := w.ToSpec()
+		return &qdmi.PulseImpl{Operation: op, Steps: []qdmi.PulseStep{
+			{Kind: "play", PortRole: "drive0", Waveform: &spec},
+		}}, nil
+	case "rz", "z", "s", "t":
+		theta := map[string]float64{"z": math.Pi, "s": math.Pi / 2, "t": math.Pi / 4, "rz": 0}[op]
+		return &qdmi.PulseImpl{Operation: op, Steps: []qdmi.PulseStep{
+			{Kind: "shift_phase", PortRole: "drive0", PhaseRad: theta},
+		}}, nil
+	case "cz":
+		if len(sites) != 2 {
+			return nil, fmt.Errorf("%w: cz needs two sites", qdmi.ErrInvalidArgument)
+		}
+		w, err := d.czWaveform(sites[0], sites[1])
+		if err != nil {
+			return nil, err
+		}
+		spec := w.ToSpec()
+		return &qdmi.PulseImpl{Operation: op, Steps: []qdmi.PulseStep{
+			{Kind: "barrier"},
+			{Kind: "play", PortRole: "coupler", Waveform: &spec},
+			{Kind: "barrier"},
+		}}, nil
+	case "measure":
+		return &qdmi.PulseImpl{Operation: op, Steps: []qdmi.PulseStep{
+			{Kind: "barrier"},
+			{Kind: "capture", PortRole: "readout0", Samples: d.cfg.ReadoutSamples},
+		}}, nil
+	default:
+		return nil, fmt.Errorf("%w: no default pulse for %q", qdmi.ErrNotSupported, op)
+	}
+}
+
+// SetPulseImpl implements qdmi.Device: experts can install custom
+// operations defined by their pulse waveforms (paper Section 5.2 footnote:
+// extending a device's native gate set).
+func (d *SimDevice) SetPulseImpl(op string, sites []int, impl *qdmi.PulseImpl) error {
+	if err := impl.Validate(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.customPulses[implKey(op, sites)] = impl
+	return nil
+}
+
+// czSamples returns the coupler pulse length implementing a CZ.
+func (d *SimDevice) czSamples() int {
+	if len(d.cfg.Couplings) == 0 {
+		return 0
+	}
+	c := d.cfg.Couplings[0]
+	dt := 1 / d.cfg.SampleRateHz
+	// With a GaussianSquare of amplitude a and rise fraction 0.1 the area is
+	// ≈ 0.9·a·n; target area·dt = 1/Rabi at a = 0.5.
+	n := int(math.Ceil(1/(c.RabiHz*dt*0.5*0.85))) + 1
+	g := d.cfg.Granularity
+	if g > 1 {
+		n = ((n + g - 1) / g) * g
+	}
+	return n
+}
+
+// czWaveform synthesizes the coupler pulse whose area implements phase π on
+// |11⟩ for the pair's coupling strength.
+func (d *SimDevice) czWaveform(a, b int) (*waveform.Waveform, error) {
+	key := [2]int{a, b}
+	if _, ok := d.couplePort[key]; !ok {
+		return nil, fmt.Errorf("%w: no coupler between sites %d,%d", qdmi.ErrNotSupported, a, b)
+	}
+	var cc *CouplingConfig
+	for i := range d.cfg.Couplings {
+		if d.cfg.Couplings[i].A == a {
+			cc = &d.cfg.Couplings[i]
+		}
+	}
+	if cc == nil {
+		return nil, fmt.Errorf("%w: no coupling config for %d,%d", qdmi.ErrNotSupported, a, b)
+	}
+	n := d.czSamples()
+	base, err := waveform.GaussianSquare{Amplitude: 1.0, RiseFrac: 0.1}.Materialize("czpulse", n)
+	if err != nil {
+		return nil, err
+	}
+	dt := 1 / d.cfg.SampleRateHz
+	// Required area (in samples): phase π ⇒ π·Rabi·area·dt = π.
+	needArea := 1 / (cc.RabiHz * dt)
+	amp := needArea / base.Area()
+	if amp > 1 {
+		return nil, fmt.Errorf("devices: cz pulse needs amplitude %.3g > 1", amp)
+	}
+	return base.Scale(complex(amp, 0))
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"mqsspulse/internal/compiler"
+	"mqsspulse/internal/mlir"
+	"mqsspulse/internal/qdmi"
+	"mqsspulse/internal/qir"
+	"mqsspulse/internal/qpi"
+)
+
+// Thin aliases keep experiments.go readable while making the compiler
+// dependency explicit in one place.
+
+func compilerFrontend(c *qpi.Circuit, dev qdmi.Device) (*mlir.Module, error) {
+	return compiler.Frontend(c, dev)
+}
+
+func compilerBackend(m *mlir.Module, dev qdmi.Device) (*qir.Module, error) {
+	return compiler.Backend(m, dev)
+}
+
+func compilerCompile(c *qpi.Circuit, dev qdmi.Device) (*compiler.Result, error) {
+	return compiler.Compile(c, dev)
+}

@@ -1,0 +1,235 @@
+package mlir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is one operation inside a pulse.sequence.
+type Op interface {
+	// OpName returns the dialect op mnemonic, e.g. "pulse.play".
+	OpName() string
+	// Render prints the op in the textual format.
+	Render() string
+	isOp()
+}
+
+// StandardGateOp is a gate-level operation expressed in the pulse dialect
+// (e.g. pulse.standard_x in the paper's Listing 2). Lowering passes replace
+// it with calibrated play/frame ops.
+type StandardGateOp struct {
+	Gate   string  // x, y, z, h, sx, rx, ry, rz, cz, cx, iswap
+	Frames []Value // one mixed frame per operand qubit
+	Params []float64
+}
+
+// OpName implements Op.
+func (o *StandardGateOp) OpName() string { return "pulse.standard_" + o.Gate }
+
+// Render implements Op.
+func (o *StandardGateOp) Render() string {
+	frames := make([]string, len(o.Frames))
+	for i, f := range o.Frames {
+		frames[i] = f.String()
+	}
+	s := fmt.Sprintf("%s(%s)", o.OpName(), strings.Join(frames, ", "))
+	if len(o.Params) > 0 {
+		ps := make([]string, len(o.Params))
+		for i, p := range o.Params {
+			ps[i] = fmt.Sprintf("%g", p)
+		}
+		s += fmt.Sprintf(" {params = [%s]}", strings.Join(ps, ", "))
+	}
+	return s
+}
+
+func (o *StandardGateOp) isOp() {}
+
+// WaveformRefOp binds a module-level waveform definition to an SSA value
+// (the paper's %wf1 = pulse.waveform.amplitudes @waveform_1).
+type WaveformRefOp struct {
+	Result   string // SSA name without %
+	Waveform string // module symbol without @
+}
+
+// OpName implements Op.
+func (o *WaveformRefOp) OpName() string { return "pulse.waveform_ref" }
+
+// Render implements Op.
+func (o *WaveformRefOp) Render() string {
+	return fmt.Sprintf("%%%s = pulse.waveform_ref @%s", o.Result, o.Waveform)
+}
+
+func (o *WaveformRefOp) isOp() {}
+
+// PlayOp emits a waveform on a mixed frame (pulse.play).
+type PlayOp struct {
+	Frame    Value
+	Waveform Value // must reference a WaveformRefOp result
+}
+
+// OpName implements Op.
+func (o *PlayOp) OpName() string { return "pulse.play" }
+
+// Render implements Op.
+func (o *PlayOp) Render() string {
+	return fmt.Sprintf("pulse.play(%s, %s)", o.Frame, o.Waveform)
+}
+
+func (o *PlayOp) isOp() {}
+
+// FrameChangeOp sets frequency and shifts phase in one op — the direct
+// lowering of the paper's qFrameChange (pulse.frame_change).
+type FrameChangeOp struct {
+	Frame Value
+	Freq  Value // f64 ref or literal, Hz
+	Phase Value // f64 ref or literal, rad
+}
+
+// OpName implements Op.
+func (o *FrameChangeOp) OpName() string { return "pulse.frame_change" }
+
+// Render implements Op.
+func (o *FrameChangeOp) Render() string {
+	return fmt.Sprintf("pulse.frame_change(%s, freq = %s, phase = %s)", o.Frame, o.Freq, o.Phase)
+}
+
+func (o *FrameChangeOp) isOp() {}
+
+// ShiftPhaseOp rotates the frame phase (pulse.shift_phase).
+type ShiftPhaseOp struct {
+	Frame Value
+	Phase Value
+}
+
+// OpName implements Op.
+func (o *ShiftPhaseOp) OpName() string { return "pulse.shift_phase" }
+
+// Render implements Op.
+func (o *ShiftPhaseOp) Render() string {
+	return fmt.Sprintf("pulse.shift_phase(%s, %s)", o.Frame, o.Phase)
+}
+
+func (o *ShiftPhaseOp) isOp() {}
+
+// SetPhaseOp overrides the frame phase (pulse.set_phase).
+type SetPhaseOp struct {
+	Frame Value
+	Phase Value
+}
+
+// OpName implements Op.
+func (o *SetPhaseOp) OpName() string { return "pulse.set_phase" }
+
+// Render implements Op.
+func (o *SetPhaseOp) Render() string {
+	return fmt.Sprintf("pulse.set_phase(%s, %s)", o.Frame, o.Phase)
+}
+
+func (o *SetPhaseOp) isOp() {}
+
+// ShiftFrequencyOp detunes the frame carrier (pulse.shift_frequency).
+type ShiftFrequencyOp struct {
+	Frame Value
+	Freq  Value
+}
+
+// OpName implements Op.
+func (o *ShiftFrequencyOp) OpName() string { return "pulse.shift_frequency" }
+
+// Render implements Op.
+func (o *ShiftFrequencyOp) Render() string {
+	return fmt.Sprintf("pulse.shift_frequency(%s, %s)", o.Frame, o.Freq)
+}
+
+func (o *ShiftFrequencyOp) isOp() {}
+
+// SetFrequencyOp overrides the frame carrier (pulse.set_frequency).
+type SetFrequencyOp struct {
+	Frame Value
+	Freq  Value
+}
+
+// OpName implements Op.
+func (o *SetFrequencyOp) OpName() string { return "pulse.set_frequency" }
+
+// Render implements Op.
+func (o *SetFrequencyOp) Render() string {
+	return fmt.Sprintf("pulse.set_frequency(%s, %s)", o.Frame, o.Freq)
+}
+
+func (o *SetFrequencyOp) isOp() {}
+
+// DelayOp idles a frame for a sample count (pulse.delay).
+type DelayOp struct {
+	Frame   Value
+	Samples int64
+}
+
+// OpName implements Op.
+func (o *DelayOp) OpName() string { return "pulse.delay" }
+
+// Render implements Op.
+func (o *DelayOp) Render() string {
+	return fmt.Sprintf("pulse.delay(%s, %d)", o.Frame, o.Samples)
+}
+
+func (o *DelayOp) isOp() {}
+
+// BarrierOp synchronizes frames; empty means all (pulse.barrier).
+type BarrierOp struct {
+	Frames []Value
+}
+
+// OpName implements Op.
+func (o *BarrierOp) OpName() string { return "pulse.barrier" }
+
+// Render implements Op.
+func (o *BarrierOp) Render() string {
+	frames := make([]string, len(o.Frames))
+	for i, f := range o.Frames {
+		frames[i] = f.String()
+	}
+	return fmt.Sprintf("pulse.barrier(%s)", strings.Join(frames, ", "))
+}
+
+func (o *BarrierOp) isOp() {}
+
+// CaptureOp acquires a readout result into an i1 SSA value (pulse.capture).
+type CaptureOp struct {
+	Result  string
+	Frame   Value
+	Samples int64 // acquisition window length
+}
+
+// OpName implements Op.
+func (o *CaptureOp) OpName() string { return "pulse.capture" }
+
+// Render implements Op.
+func (o *CaptureOp) Render() string {
+	return fmt.Sprintf("%%%s = pulse.capture(%s, %d)", o.Result, o.Frame, o.Samples)
+}
+
+func (o *CaptureOp) isOp() {}
+
+// ReturnOp terminates a sequence, yielding the captured bits (pulse.return).
+type ReturnOp struct {
+	Values []Value
+}
+
+// OpName implements Op.
+func (o *ReturnOp) OpName() string { return "pulse.return" }
+
+// Render implements Op.
+func (o *ReturnOp) Render() string {
+	if len(o.Values) == 0 {
+		return "pulse.return"
+	}
+	vs := make([]string, len(o.Values))
+	for i, v := range o.Values {
+		vs[i] = v.String()
+	}
+	return "pulse.return " + strings.Join(vs, ", ")
+}
+
+func (o *ReturnOp) isOp() {}

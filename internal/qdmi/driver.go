@@ -1,0 +1,115 @@
+package qdmi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Driver is the QDMI driver entity: the bespoke orchestration layer that
+// manages available devices and mediates client requests through sessions
+// (paper, Section 5.3). Clients never hold devices directly — they open a
+// session and address devices by name.
+type Driver struct {
+	mu      sync.RWMutex
+	devices map[string]Device
+	nextSes int
+}
+
+// NewDriver creates an empty device registry.
+func NewDriver() *Driver {
+	return &Driver{devices: map[string]Device{}}
+}
+
+// RegisterDevice adds a device to the registry. Duplicate names are
+// rejected.
+func (d *Driver) RegisterDevice(dev Device) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	name := dev.Name()
+	if name == "" {
+		return fmt.Errorf("%w: device with empty name", ErrInvalidArgument)
+	}
+	if _, dup := d.devices[name]; dup {
+		return fmt.Errorf("%w: duplicate device %q", ErrInvalidArgument, name)
+	}
+	d.devices[name] = dev
+	return nil
+}
+
+// UnregisterDevice removes a device.
+func (d *Driver) UnregisterDevice(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.devices[name]; !ok {
+		return fmt.Errorf("%w: unknown device %q", ErrInvalidArgument, name)
+	}
+	delete(d.devices, name)
+	return nil
+}
+
+// OpenSession allocates a client session over the current device set.
+func (d *Driver) OpenSession() *Session {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextSes++
+	return &Session{driver: d, id: d.nextSes, open: true}
+}
+
+// deviceNames returns the sorted registry keys.
+func (d *Driver) deviceNames() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	names := make([]string, 0, len(d.devices))
+	for n := range d.devices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Session is a client's handle on the driver. All device access flows
+// through it, giving the driver a place to enforce allocation and
+// access-control policy.
+type Session struct {
+	driver *Driver
+	id     int
+	mu     sync.Mutex
+	open   bool
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() int { return s.id }
+
+// Devices lists the names of devices visible to this session.
+func (s *Session) Devices() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.open {
+		return nil, fmt.Errorf("%w: session %d is closed", ErrInvalidArgument, s.id)
+	}
+	return s.driver.deviceNames(), nil
+}
+
+// Device resolves a device by name.
+func (s *Session) Device(name string) (Device, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.open {
+		return nil, fmt.Errorf("%w: session %d is closed", ErrInvalidArgument, s.id)
+	}
+	s.driver.mu.RLock()
+	defer s.driver.mu.RUnlock()
+	dev, ok := s.driver.devices[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown device %q", ErrInvalidArgument, name)
+	}
+	return dev, nil
+}
+
+// Close releases the session. Further calls fail with ErrInvalidArgument.
+func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.open = false
+}

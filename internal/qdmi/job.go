@@ -1,0 +1,104 @@
+package qdmi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AsyncJob is a reusable Job implementation for devices that execute
+// payloads in a background goroutine. Devices construct it with NewAsyncJob
+// and complete it with Finish or Fail.
+type AsyncJob struct {
+	id string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	status JobStatus
+	result *Result
+	err    error
+}
+
+// NewAsyncJob creates a job in the queued state.
+func NewAsyncJob(id string) *AsyncJob {
+	j := &AsyncJob{id: id, status: JobQueued}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// ID implements Job.
+func (j *AsyncJob) ID() string { return j.id }
+
+// Status implements Job.
+func (j *AsyncJob) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Start transitions queued → running. It returns false if the job was
+// cancelled before execution began.
+func (j *AsyncJob) Start() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != JobQueued {
+		return false
+	}
+	j.status = JobRunning
+	return true
+}
+
+// Finish completes the job successfully.
+func (j *AsyncJob) Finish(r *Result) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.result = r
+	j.status = JobDone
+	j.cond.Broadcast()
+}
+
+// Fail completes the job with an error.
+func (j *AsyncJob) Fail(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.err = err
+	j.status = JobFailed
+	j.cond.Broadcast()
+}
+
+// Wait implements Job.
+func (j *AsyncJob) Wait() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for j.status == JobQueued || j.status == JobRunning {
+		j.cond.Wait()
+	}
+	return j.status
+}
+
+// Result implements Job.
+func (j *AsyncJob) Result() (*Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.status {
+	case JobDone:
+		return j.result, nil
+	case JobFailed:
+		return nil, j.err
+	case JobCancelled:
+		return nil, fmt.Errorf("%w: job %s was cancelled", ErrInvalidArgument, j.id)
+	default:
+		return nil, fmt.Errorf("%w: job %s has not finished", ErrInvalidArgument, j.id)
+	}
+}
+
+// Cancel implements Job. Only queued jobs can be cancelled.
+func (j *AsyncJob) Cancel() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != JobQueued {
+		return fmt.Errorf("%w: job %s is %s", ErrInvalidArgument, j.id, j.status)
+	}
+	j.status = JobCancelled
+	j.cond.Broadcast()
+	return nil
+}

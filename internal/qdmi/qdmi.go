@@ -1,0 +1,336 @@
+// Package qdmi implements the Quantum Device Management Interface — the
+// hardware abstraction layer of the stack (paper Section 5.3, Fig. 3). It
+// defines the three QDMI entities (clients, driver, devices), opaque
+// property-query interfaces over devices, sites, operations, and — the
+// pulse extension this paper proposes — ports, plus a job interface whose
+// payload formats include the QIR Pulse Profile exchange format.
+package qdmi
+
+import (
+	"errors"
+	"fmt"
+
+	"mqsspulse/internal/pulse"
+	"mqsspulse/internal/waveform"
+)
+
+// Status codes, mirroring the C specification's error enumeration.
+var (
+	// ErrNotSupported signals a property or operation the device does not
+	// implement (QDMI_ERROR_NOTSUPPORTED).
+	ErrNotSupported = errors.New("qdmi: not supported")
+	// ErrInvalidArgument signals a malformed query (QDMI_ERROR_INVALIDARGUMENT).
+	ErrInvalidArgument = errors.New("qdmi: invalid argument")
+	// ErrFatal signals device-side failure (QDMI_ERROR_FATAL).
+	ErrFatal = errors.New("qdmi: fatal device error")
+)
+
+// DeviceProperty enumerates device-level queries. New properties can be
+// added without breaking devices: unknown properties answer ErrNotSupported.
+type DeviceProperty int
+
+// Device properties.
+const (
+	DevicePropName DeviceProperty = iota
+	DevicePropVersion
+	DevicePropTechnology        // "superconducting", "trapped-ion", "neutral-atom", "simulator"
+	DevicePropNumSites          // int
+	DevicePropSampleRateHz      // float64
+	DevicePropPulseSupport      // PulseSupport — the pulse extension
+	DevicePropWaveformKinds     // []string — supported parametric envelopes
+	DevicePropNativeGates       // []string
+	DevicePropProgramFormats    // []ProgramFormat
+	DevicePropMaxShots          // int
+	DevicePropGranularity       // int, device-global waveform granularity
+	DevicePropMinPulseSamples   // int
+	DevicePropMaxPulseSamples   // int
+	DevicePropMaxWaveformMemory // int, total samples uploadable per job
+)
+
+// SiteProperty enumerates per-site queries (a site is a physical or logical
+// qubit location: a transmon, an ion, an atom trap).
+type SiteProperty int
+
+// Site properties.
+const (
+	SitePropFrequencyHz SiteProperty = iota
+	SitePropT1Seconds
+	SitePropT2Seconds
+	SitePropAnharmonicityHz
+	SitePropReadoutFidelity
+	SitePropConnectivity // []int — coupled site indices
+)
+
+// OperationProperty enumerates per-operation queries.
+type OperationProperty int
+
+// Operation properties.
+const (
+	OpPropDurationSeconds OperationProperty = iota
+	OpPropFidelity
+	OpPropArity
+	OpPropParamCount
+	OpPropHasPulseImpl // bool — pulse extension: calibrated implementation available
+)
+
+// PortProperty enumerates per-port queries — the port-level pulse extension.
+type PortProperty int
+
+// Port properties.
+const (
+	PortPropKind PortProperty = iota
+	PortPropSites
+	PortPropSampleRateHz
+	PortPropGranularity
+	PortPropMinSamples
+	PortPropMaxSamples
+	PortPropMaxAmplitude
+)
+
+// PulseSupport is the level of pulse access a device advertises: none, at
+// site granularity (site-attached default pulses only), or full port-level
+// control (arbitrary waveforms on named ports).
+type PulseSupport int
+
+// Pulse support levels.
+const (
+	PulseNone PulseSupport = iota
+	PulseSiteLevel
+	PulsePortLevel
+)
+
+// String implements fmt.Stringer.
+func (p PulseSupport) String() string {
+	switch p {
+	case PulseNone:
+		return "none"
+	case PulseSiteLevel:
+		return "site"
+	case PulsePortLevel:
+		return "port"
+	default:
+		return fmt.Sprintf("PulseSupport(%d)", int(p))
+	}
+}
+
+// ProgramFormat identifies a job payload encoding. Adding pulse payloads to
+// QDMI required "only adding a single enumeration value" (paper, Fig. 3
+// caption) — here that value is FormatQIRPulse.
+type ProgramFormat string
+
+// Program formats.
+const (
+	FormatQIRBase   ProgramFormat = "qir-base"
+	FormatQIRPulse  ProgramFormat = "qir-pulse" // the pulse extension
+	FormatMLIRPulse ProgramFormat = "mlir-pulse"
+)
+
+// JobStatus is the lifecycle state of a submitted job.
+type JobStatus int
+
+// Job statuses.
+const (
+	JobQueued JobStatus = iota
+	JobRunning
+	JobDone
+	JobFailed
+	JobCancelled
+)
+
+// String implements fmt.Stringer.
+func (s JobStatus) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	case JobCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("JobStatus(%d)", int(s))
+	}
+}
+
+// Result is a completed job's measurement data.
+type Result struct {
+	Counts          map[uint64]int
+	Shots           int
+	DurationSeconds float64 // executed schedule wall-clock length
+}
+
+// Job is a handle on an asynchronous device execution.
+type Job interface {
+	// ID returns the device-unique job identifier.
+	ID() string
+	// Status returns the current lifecycle state.
+	Status() JobStatus
+	// Wait blocks until the job leaves the queue/running states.
+	Wait() JobStatus
+	// Result returns the measurement data of a JobDone job.
+	Result() (*Result, error)
+	// Cancel requests cancellation of a queued job.
+	Cancel() error
+}
+
+// PulseStep is one element of a calibrated pulse implementation. PortRole
+// names a logical channel ("drive0", "drive1", "coupler", "readout0"); the
+// device maps roles onto concrete ports for the target site tuple.
+type PulseStep struct {
+	Kind     string // "play", "shift_phase", "set_frequency", "frame_change", "delay", "barrier", "capture"
+	PortRole string
+	Waveform *waveform.Spec // for play
+	PhaseRad float64
+	FreqHz   float64
+	Samples  int64 // for delay/capture
+}
+
+// PulseImpl is a calibrated, device-independent description of an
+// operation's pulse sequence — what DefaultPulse queries return and what
+// SetPulseImpl installs for custom operations (paper Section 5.3:
+// "mechanisms to query and set default pulse implementations ... as well as
+// to add pulse implementations for custom operations").
+type PulseImpl struct {
+	Operation string
+	Steps     []PulseStep
+}
+
+// Validate checks structural sanity of a pulse implementation.
+func (pi *PulseImpl) Validate() error {
+	if pi.Operation == "" {
+		return fmt.Errorf("%w: pulse impl without operation name", ErrInvalidArgument)
+	}
+	if len(pi.Steps) == 0 {
+		return fmt.Errorf("%w: pulse impl %s has no steps", ErrInvalidArgument, pi.Operation)
+	}
+	for i, st := range pi.Steps {
+		switch st.Kind {
+		case "play":
+			if st.Waveform == nil {
+				return fmt.Errorf("%w: step %d: play without waveform", ErrInvalidArgument, i)
+			}
+			if _, err := st.Waveform.Materialize(); err != nil {
+				return fmt.Errorf("%w: step %d: %v", ErrInvalidArgument, i, err)
+			}
+		case "shift_phase", "set_frequency", "frame_change", "barrier":
+		case "delay", "capture":
+			if st.Samples <= 0 {
+				return fmt.Errorf("%w: step %d: %s with non-positive samples", ErrInvalidArgument, i, st.Kind)
+			}
+		default:
+			return fmt.Errorf("%w: step %d: unknown kind %q", ErrInvalidArgument, i, st.Kind)
+		}
+		if st.Kind != "barrier" && st.PortRole == "" {
+			return fmt.Errorf("%w: step %d: missing port role", ErrInvalidArgument, i)
+		}
+	}
+	return nil
+}
+
+// Device is the QDMI device interface: property queries over the device,
+// its sites, operations, and ports, the pulse-calibration extension, and
+// job submission.
+type Device interface {
+	// Name returns the device identifier used by the driver registry.
+	Name() string
+
+	// QueryDeviceProperty answers a device-level property query.
+	QueryDeviceProperty(p DeviceProperty) (any, error)
+	// NumSites returns the number of addressable sites.
+	NumSites() int
+	// QuerySiteProperty answers a site-level property query.
+	QuerySiteProperty(site int, p SiteProperty) (any, error)
+	// Operations lists the device's supported operation names.
+	Operations() []string
+	// QueryOperationProperty answers an operation-level property query for
+	// a concrete site tuple (nil sites = device-wide aggregate).
+	QueryOperationProperty(op string, sites []int, p OperationProperty) (any, error)
+
+	// Ports lists the pulse-accessible hardware channels (pulse extension;
+	// empty for PulseNone devices).
+	Ports() []*pulse.Port
+	// QueryPortProperty answers a port-level property query.
+	QueryPortProperty(portID string, p PortProperty) (any, error)
+	// DefaultPulse returns the calibrated pulse implementation of an
+	// operation on a site tuple.
+	DefaultPulse(op string, sites []int) (*PulseImpl, error)
+	// SetPulseImpl installs (or overrides) the pulse implementation of an
+	// operation on a site tuple, enabling custom gates defined by experts.
+	SetPulseImpl(op string, sites []int, impl *PulseImpl) error
+
+	// SubmitJob enqueues a payload for execution.
+	SubmitJob(payload []byte, format ProgramFormat, shots int) (Job, error)
+}
+
+// QueryString is a typed convenience wrapper over property queries.
+func QueryString(dev Device, p DeviceProperty) (string, error) {
+	v, err := dev.QueryDeviceProperty(p)
+	if err != nil {
+		return "", err
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("%w: property %d is %T, not string", ErrInvalidArgument, p, v)
+	}
+	return s, nil
+}
+
+// QueryInt is a typed convenience wrapper over property queries.
+func QueryInt(dev Device, p DeviceProperty) (int, error) {
+	v, err := dev.QueryDeviceProperty(p)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.(int)
+	if !ok {
+		return 0, fmt.Errorf("%w: property %d is %T, not int", ErrInvalidArgument, p, v)
+	}
+	return n, nil
+}
+
+// QueryFloat is a typed convenience wrapper over property queries.
+func QueryFloat(dev Device, p DeviceProperty) (float64, error) {
+	v, err := dev.QueryDeviceProperty(p)
+	if err != nil {
+		return 0, err
+	}
+	f, ok := v.(float64)
+	if !ok {
+		return 0, fmt.Errorf("%w: property %d is %T, not float64", ErrInvalidArgument, p, v)
+	}
+	return f, nil
+}
+
+// QueryPulseSupport returns the device's advertised pulse access level.
+func QueryPulseSupport(dev Device) (PulseSupport, error) {
+	v, err := dev.QueryDeviceProperty(DevicePropPulseSupport)
+	if err != nil {
+		return PulseNone, err
+	}
+	ps, ok := v.(PulseSupport)
+	if !ok {
+		return PulseNone, fmt.Errorf("%w: pulse support property is %T", ErrInvalidArgument, v)
+	}
+	return ps, nil
+}
+
+// SupportsFormat reports whether the device accepts a payload format.
+func SupportsFormat(dev Device, f ProgramFormat) bool {
+	v, err := dev.QueryDeviceProperty(DevicePropProgramFormats)
+	if err != nil {
+		return false
+	}
+	formats, ok := v.([]ProgramFormat)
+	if !ok {
+		return false
+	}
+	for _, g := range formats {
+		if g == f {
+			return true
+		}
+	}
+	return false
+}

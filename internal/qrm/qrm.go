@@ -1,0 +1,261 @@
+// Package qrm implements the Quantum Resource Manager of Fig. 2: the
+// second-level scheduler that sits between the MQSS client and the devices.
+// Each device gets a priority queue and a dispatch worker (QPUs serialize
+// execution); a calibration hook lets the resource manager interleave
+// maintenance with user jobs — the paper's "resource-aware calibration
+// planning" (Section 2.1).
+package qrm
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+
+	"mqsspulse/internal/qdmi"
+)
+
+// Request describes one job submission.
+type Request struct {
+	Device  string
+	Payload []byte
+	Format  qdmi.ProgramFormat
+	Shots   int
+	// Priority orders dispatch: higher runs first; FIFO within a level.
+	Priority int
+}
+
+// Ticket tracks a submitted request through the queue and device.
+type Ticket struct {
+	id       int64
+	priority int
+	seq      int64 // FIFO tiebreaker
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	done   bool
+	result *qdmi.Result
+	err    error
+}
+
+func newTicket(id int64, prio int, seq int64) *Ticket {
+	t := &Ticket{id: id, priority: prio, seq: seq}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// ID returns the scheduler-assigned job ID.
+func (t *Ticket) ID() int64 { return t.id }
+
+// Wait blocks until the job finishes and returns its result.
+func (t *Ticket) Wait() (*qdmi.Result, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for !t.done {
+		t.cond.Wait()
+	}
+	return t.result, t.err
+}
+
+// Done reports whether the job has finished without blocking.
+func (t *Ticket) Done() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done
+}
+
+func (t *Ticket) finish(r *qdmi.Result, err error) {
+	t.mu.Lock()
+	t.result, t.err, t.done = r, err, true
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}
+
+// queued pairs a ticket with its request.
+type queued struct {
+	ticket *Ticket
+	req    Request
+}
+
+// jobHeap orders by (priority desc, seq asc).
+type jobHeap []*queued
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].ticket.priority != h[j].ticket.priority {
+		return h[i].ticket.priority > h[j].ticket.priority
+	}
+	return h[i].ticket.seq < h[j].ticket.seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*queued)) }
+func (h *jobHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// MaintenanceHook runs device maintenance (calibration) before a user job
+// dispatches; the scheduler calls it with the job's target device.
+type MaintenanceHook func(dev qdmi.Device) error
+
+// Stats aggregates scheduler counters.
+type Stats struct {
+	Submitted int64
+	Completed int64
+	Failed    int64
+	// MaintenanceRuns counts hook invocations that did work.
+	MaintenanceRuns int64
+}
+
+// Scheduler is the QRM instance over a QDMI session.
+type Scheduler struct {
+	session *qdmi.Session
+
+	mu      sync.Mutex
+	queues  map[string]*deviceQueue
+	nextID  int64
+	nextSeq int64
+	stats   Stats
+	hook    MaintenanceHook
+	closed  bool
+}
+
+type deviceQueue struct {
+	name    string
+	heap    jobHeap
+	wake    chan struct{}
+	stopped chan struct{}
+}
+
+// New creates a scheduler over a QDMI session.
+func New(session *qdmi.Session) *Scheduler {
+	return &Scheduler{session: session, queues: map[string]*deviceQueue{}}
+}
+
+// SetMaintenanceHook installs the calibration hook (nil disables).
+func (s *Scheduler) SetMaintenanceHook(h MaintenanceHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hook = h
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Submit enqueues a request and returns its ticket.
+func (s *Scheduler) Submit(req Request) (*Ticket, error) {
+	if req.Shots <= 0 {
+		return nil, errors.New("qrm: non-positive shots")
+	}
+	if len(req.Payload) == 0 {
+		return nil, errors.New("qrm: empty payload")
+	}
+	// Resolve the device eagerly so unknown names fail at submit time.
+	if _, err := s.session.Device(req.Device); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("qrm: scheduler closed")
+	}
+	s.nextID++
+	s.nextSeq++
+	t := newTicket(s.nextID, req.Priority, s.nextSeq)
+	q, ok := s.queues[req.Device]
+	if !ok {
+		q = &deviceQueue{name: req.Device, wake: make(chan struct{}, 1), stopped: make(chan struct{})}
+		s.queues[req.Device] = q
+		go s.worker(q)
+	}
+	heap.Push(&q.heap, &queued{ticket: t, req: req})
+	s.stats.Submitted++
+	s.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+	return t, nil
+}
+
+// worker drains one device's queue, serializing execution per QPU.
+func (s *Scheduler) worker(q *deviceQueue) {
+	defer close(q.stopped)
+	for {
+		s.mu.Lock()
+		if s.closed && q.heap.Len() == 0 {
+			s.mu.Unlock()
+			return
+		}
+		var item *queued
+		if q.heap.Len() > 0 {
+			item = heap.Pop(&q.heap).(*queued)
+		}
+		hook := s.hook
+		s.mu.Unlock()
+
+		if item == nil {
+			// Block for work; a closed wake channel falls through so the
+			// drain-and-exit check at the top of the loop runs.
+			<-q.wake
+			continue
+		}
+		dev, err := s.session.Device(item.req.Device)
+		if err != nil {
+			s.fail(item, err)
+			continue
+		}
+		if hook != nil {
+			if err := hook(dev); err != nil {
+				s.fail(item, fmt.Errorf("qrm: maintenance: %w", err))
+				continue
+			}
+			s.mu.Lock()
+			s.stats.MaintenanceRuns++
+			s.mu.Unlock()
+		}
+		job, err := dev.SubmitJob(item.req.Payload, item.req.Format, item.req.Shots)
+		if err != nil {
+			s.fail(item, err)
+			continue
+		}
+		job.Wait()
+		res, err := job.Result()
+		if err != nil {
+			s.fail(item, err)
+			continue
+		}
+		s.mu.Lock()
+		s.stats.Completed++
+		s.mu.Unlock()
+		item.ticket.finish(res, nil)
+	}
+}
+
+func (s *Scheduler) fail(item *queued, err error) {
+	s.mu.Lock()
+	s.stats.Failed++
+	s.mu.Unlock()
+	item.ticket.finish(nil, err)
+}
+
+// Close stops accepting jobs and shuts the workers down after their queues
+// drain.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	queues := make([]*deviceQueue, 0, len(s.queues))
+	for _, q := range s.queues {
+		queues = append(queues, q)
+	}
+	s.mu.Unlock()
+	for _, q := range queues {
+		close(q.wake)
+		<-q.stopped
+	}
+}

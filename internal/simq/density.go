@@ -1,0 +1,240 @@
+package simq
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mqsspulse/internal/linalg"
+)
+
+// Density is a density-matrix state, used when decoherence (T1/T2) matters.
+type Density struct {
+	Dims []int
+	Rho  *linalg.Matrix
+}
+
+// NewDensity creates |00...0⟩⟨00...0|.
+func NewDensity(dims []int) *Density {
+	n := 1
+	for _, d := range dims {
+		if d < 2 {
+			panic(fmt.Sprintf("simq: site dimension %d < 2", d))
+		}
+		n *= d
+	}
+	rho := linalg.NewMatrix(n, n)
+	rho.Set(0, 0, 1)
+	return &Density{Dims: append([]int(nil), dims...), Rho: rho}
+}
+
+// FromState builds ρ = |ψ⟩⟨ψ|.
+func FromState(s *State) *Density {
+	return &Density{Dims: append([]int(nil), s.Dims...), Rho: linalg.Outer(s.Amp, s.Amp)}
+}
+
+// Dim returns the Hilbert-space dimension.
+func (d *Density) Dim() int { return d.Rho.Rows }
+
+// Clone deep-copies.
+func (d *Density) Clone() *Density {
+	return &Density{Dims: append([]int(nil), d.Dims...), Rho: d.Rho.Clone()}
+}
+
+// ApplyFull conjugates ρ → UρU†.
+func (d *Density) ApplyFull(u *linalg.Matrix) {
+	d.Rho = u.Mul(d.Rho).Mul(u.Dagger())
+}
+
+// ApplyAt applies a local unitary to one site.
+func (d *Density) ApplyAt(op *linalg.Matrix, site int) {
+	full := linalg.EmbedAt(op, d.Dims, site)
+	d.ApplyFull(full)
+}
+
+// Trace returns tr(ρ) (should remain 1).
+func (d *Density) Trace() float64 { return real(d.Rho.Trace()) }
+
+// Populations returns the diagonal of ρ.
+func (d *Density) Populations() []float64 {
+	p := make([]float64, d.Rho.Rows)
+	for i := 0; i < d.Rho.Rows; i++ {
+		p[i] = real(d.Rho.At(i, i))
+	}
+	return p
+}
+
+// Expectation returns tr(ρM).
+func (d *Density) Expectation(m *linalg.Matrix) complex128 {
+	return d.Rho.Mul(m).Trace()
+}
+
+// PopulationOfLevel returns P(site at level).
+func (d *Density) PopulationOfLevel(site, level int) float64 {
+	var p float64
+	for i := 0; i < d.Rho.Rows; i++ {
+		if SiteLevel(d.Dims, i, site) == level {
+			p += real(d.Rho.At(i, i))
+		}
+	}
+	return p
+}
+
+// SampleBits draws joint measurement outcomes from the diagonal of ρ.
+func (d *Density) SampleBits(rng *rand.Rand, sites []int, shots int) []uint64 {
+	return sampleBits(rng, d.Populations(), d.Dims, sites, shots)
+}
+
+// StateFidelity returns ⟨ψ|ρ|ψ⟩ for a pure target.
+func StateFidelity(rho *Density, psi *State) float64 {
+	v := rho.Rho.MulVec(psi.Amp)
+	return real(linalg.Dot(psi.Amp, v))
+}
+
+// Collapse is a Lindblad jump (collapse) operator with rate γ: contributes
+// γ(LρL† − ½{L†L, ρ}) to dρ/dt.
+type Collapse struct {
+	L    *linalg.Matrix
+	Rate float64 // γ in 1/s
+}
+
+// LindbladRHS computes dρ/dt = -i[H,ρ] + Σ γ_k (L_k ρ L_k† − ½{L_k†L_k, ρ})
+// with H in angular-frequency units (rad/s).
+func LindbladRHS(h *linalg.Matrix, rho *linalg.Matrix, collapses []Collapse) *linalg.Matrix {
+	// -i[H, ρ]
+	out := linalg.Commutator(h, rho).Scale(complex(0, -1))
+	for _, c := range collapses {
+		if c.Rate == 0 {
+			continue
+		}
+		ld := c.L.Dagger()
+		ldl := ld.Mul(c.L)
+		jump := c.L.Mul(rho).Mul(ld)
+		anti := linalg.AntiCommutator(ldl, rho).Scale(0.5)
+		out.AddInPlace(jump.Sub(anti), complex(c.Rate, 0))
+	}
+	return out
+}
+
+// LindbladStepRK4 advances ρ by dt seconds under constant H using classical
+// Runge-Kutta 4. H is in rad/s.
+func LindbladStepRK4(h *linalg.Matrix, rho *Density, collapses []Collapse, dt float64) {
+	k1 := LindbladRHS(h, rho.Rho, collapses)
+	r2 := rho.Rho.Clone()
+	r2.AddInPlace(k1, complex(dt/2, 0))
+	k2 := LindbladRHS(h, r2, collapses)
+	r3 := rho.Rho.Clone()
+	r3.AddInPlace(k2, complex(dt/2, 0))
+	k3 := LindbladRHS(h, r3, collapses)
+	r4 := rho.Rho.Clone()
+	r4.AddInPlace(k3, complex(dt, 0))
+	k4 := LindbladRHS(h, r4, collapses)
+
+	rho.Rho.AddInPlace(k1, complex(dt/6, 0))
+	rho.Rho.AddInPlace(k2, complex(dt/3, 0))
+	rho.Rho.AddInPlace(k3, complex(dt/3, 0))
+	rho.Rho.AddInPlace(k4, complex(dt/6, 0))
+}
+
+// DissipatorRHS computes only the dissipative part of the Lindblad
+// equation: Σ γ_k (L_k ρ L_k† − ½{L_k†L_k, ρ}).
+func DissipatorRHS(rho *linalg.Matrix, collapses []Collapse) *linalg.Matrix {
+	out := linalg.NewMatrix(rho.Rows, rho.Cols)
+	for _, c := range collapses {
+		if c.Rate == 0 {
+			continue
+		}
+		ld := c.L.Dagger()
+		ldl := ld.Mul(c.L)
+		jump := c.L.Mul(rho).Mul(ld)
+		anti := linalg.AntiCommutator(ldl, rho).Scale(0.5)
+		out.AddInPlace(jump.Sub(anti), complex(c.Rate, 0))
+	}
+	return out
+}
+
+// DissipatorStepRK4 advances ρ by dt under the dissipator alone. Combined
+// with an exact unitary conjugation this gives a splitting integrator that
+// stays stable for arbitrarily fast Hamiltonian phase rotation — RK4 on the
+// full Lindblad generator diverges once ‖H‖·dt exceeds its stability
+// region, which a transmon anharmonicity reaches at tens of nanoseconds.
+func DissipatorStepRK4(rho *Density, collapses []Collapse, dt float64) {
+	if len(collapses) == 0 {
+		return
+	}
+	k1 := DissipatorRHS(rho.Rho, collapses)
+	r2 := rho.Rho.Clone()
+	r2.AddInPlace(k1, complex(dt/2, 0))
+	k2 := DissipatorRHS(r2, collapses)
+	r3 := rho.Rho.Clone()
+	r3.AddInPlace(k2, complex(dt/2, 0))
+	k3 := DissipatorRHS(r3, collapses)
+	r4 := rho.Rho.Clone()
+	r4.AddInPlace(k3, complex(dt, 0))
+	k4 := DissipatorRHS(r4, collapses)
+	rho.Rho.AddInPlace(k1, complex(dt/6, 0))
+	rho.Rho.AddInPlace(k2, complex(dt/3, 0))
+	rho.Rho.AddInPlace(k3, complex(dt/3, 0))
+	rho.Rho.AddInPlace(k4, complex(dt/6, 0))
+}
+
+// SplitStep advances ρ by dt under constant H (rad/s) plus collapses using
+// first-order splitting: exact unitary conjugation followed by a dissipator
+// RK4 step.
+func SplitStep(h *linalg.Matrix, rho *Density, collapses []Collapse, dt float64) error {
+	u, err := linalg.ExpI(h, dt)
+	if err != nil {
+		return err
+	}
+	rho.ApplyFull(u)
+	DissipatorStepRK4(rho, collapses, dt)
+	return nil
+}
+
+// RelaxationCollapses builds the standard T1/T2 collapse operators for one
+// site of dimension dim embedded in dims: amplitude damping at rate 1/T1 on
+// the lowering operator and pure dephasing at rate 1/Tφ where
+// 1/Tφ = 1/T2 − 1/(2T1). Zero or negative T1/T2 disable the channel.
+func RelaxationCollapses(dims []int, site int, t1, t2 float64) []Collapse {
+	var out []Collapse
+	d := dims[site]
+	if t1 > 0 {
+		out = append(out, Collapse{
+			L:    linalg.EmbedAt(linalg.Annihilation(d), dims, site),
+			Rate: 1 / t1,
+		})
+	}
+	if t2 > 0 {
+		gammaPhi := 1 / t2
+		if t1 > 0 {
+			gammaPhi -= 1 / (2 * t1)
+		}
+		if gammaPhi > 1e-18 {
+			// Dephasing via the number operator (generalizes σz/2 to d levels).
+			out = append(out, Collapse{
+				L:    linalg.EmbedAt(linalg.NumberOp(d), dims, site),
+				Rate: 2 * gammaPhi,
+			})
+		}
+	}
+	return out
+}
+
+// Purity returns tr(ρ²) ∈ [1/d, 1].
+func (d *Density) Purity() float64 {
+	return real(d.Rho.Mul(d.Rho).Trace())
+}
+
+// CheckPhysical verifies trace ≈ 1 and diagonal ∈ [-tol, 1+tol]; used by
+// property tests to catch integration blow-ups.
+func (d *Density) CheckPhysical(tol float64) error {
+	if math.Abs(d.Trace()-1) > tol {
+		return fmt.Errorf("simq: trace %g deviates from 1", d.Trace())
+	}
+	for i, p := range d.Populations() {
+		if p < -tol || p > 1+tol {
+			return fmt.Errorf("simq: population[%d] = %g outside [0,1]", i, p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,331 @@
+package simq
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+
+	"mqsspulse/internal/linalg"
+	"mqsspulse/internal/pulse"
+)
+
+// ExecOptions configures schedule execution.
+type ExecOptions struct {
+	// Shots is the number of measurement samples to draw (default 1024).
+	Shots int
+	// Seed seeds the shot sampler (0 picks a fixed default for
+	// reproducibility).
+	Seed int64
+	// ForceDensity runs the density-matrix engine even without collapse
+	// operators.
+	ForceDensity bool
+	// MaxIdleStep caps the dissipator integration step (seconds) used for
+	// idle segments in the density engine; default 500 ns (the unitary part
+	// of idle evolution is applied exactly, so only collapse rates bound
+	// the step).
+	MaxIdleStep float64
+	// ReadoutP01 is the probability a true 0 reads as 1; ReadoutP10 the
+	// probability a true 1 reads as 0 (applied per measured bit).
+	ReadoutP01, ReadoutP10 float64
+}
+
+// ExecResult is the outcome of executing a scheduled pulse program.
+type ExecResult struct {
+	// Counts maps a classical bitmask (bit i = classical register i) to the
+	// number of shots that produced it.
+	Counts map[uint64]int
+	// Shots is the total number of samples drawn.
+	Shots int
+	// MeasuredBits lists the classical bit indices that were written, in
+	// ascending order.
+	MeasuredBits []int
+	// DurationSamples is the schedule makespan.
+	DurationSamples int64
+	// DurationSeconds is the makespan in wall-clock units.
+	DurationSeconds float64
+	// FinalState is set when the state-vector engine ran.
+	FinalState *State
+	// FinalDensity is set when the density-matrix engine ran.
+	FinalDensity *Density
+}
+
+// Executor integrates scheduled pulse programs against a SystemModel. It is
+// the simulated analogue of the vendor "hardware runtime" that QIR pulse
+// intrinsics link against (paper, Section 5.4).
+type Executor struct {
+	Model *SystemModel
+}
+
+// NewExecutor wraps a system model.
+func NewExecutor(m *SystemModel) *Executor { return &Executor{Model: m} }
+
+// playEvent is an active waveform on a channel with latched frame state.
+type playEvent struct {
+	start   int64
+	samples []complex128
+	chi0    complex128 // e^{-iφ} at latch time
+	detune  float64    // Δf = frame − carrier, Hz
+	ch      *ControlChannel
+}
+
+// captureEvent records a classical-bit write.
+type captureEvent struct {
+	bit  int
+	site int
+}
+
+// Run executes the scheduled program. The port set of the schedule must be
+// covered by the model's channels for every played port; capture ports must
+// reference single-site ports.
+func (e *Executor) Run(sp *pulse.ScheduledProgram, opts ExecOptions) (*ExecResult, error) {
+	if opts.Shots <= 0 {
+		opts.Shots = 1024
+	}
+	if opts.MaxIdleStep <= 0 {
+		opts.MaxIdleStep = 500e-9
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 0x6d717373 // "mqss"
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Latch frame states as instructions execute, in time order.
+	frames := map[string]*pulse.Frame{}
+	for _, f := range sp.Schedule.Frames() {
+		frames[f.ID] = f.Clone()
+	}
+
+	dt, err := e.sampleDt(sp)
+	if err != nil {
+		return nil, err
+	}
+
+	var plays []playEvent
+	var captures []captureEvent
+	var captureEnd int64
+	for _, ti := range sp.Timed {
+		switch v := ti.Instr.(type) {
+		case *pulse.Play:
+			ch, ok := e.Model.Channels[v.Port]
+			if !ok {
+				return nil, fmt.Errorf("simq: no control channel for port %s", v.Port)
+			}
+			f := frames[v.Frame]
+			plays = append(plays, playEvent{
+				start:   ti.Start,
+				samples: v.Waveform.Samples,
+				chi0:    cmplx.Exp(complex(0, -f.PhaseRad)),
+				detune:  f.FrequencyHz - ch.CarrierFreqHz,
+				ch:      ch,
+			})
+		case *pulse.ShiftPhase:
+			frames[v.Frame].ShiftPhase(v.Phase)
+		case *pulse.SetPhase:
+			frames[v.Frame].SetPhase(v.Phase)
+		case *pulse.ShiftFrequency:
+			frames[v.Frame].ShiftFrequency(v.Hz)
+		case *pulse.SetFrequency:
+			frames[v.Frame].SetFrequency(v.Hz)
+		case *pulse.FrameChange:
+			frames[v.Frame].SetFrequency(v.Hz)
+			frames[v.Frame].ShiftPhase(v.Phase)
+		case *pulse.Capture:
+			port, _ := sp.Schedule.Port(v.Port)
+			if len(port.Sites) != 1 {
+				return nil, fmt.Errorf("simq: capture on multi-site port %s", v.Port)
+			}
+			for _, c := range captures {
+				if c.bit == v.Bit {
+					return nil, fmt.Errorf("simq: classical bit %d written twice", v.Bit)
+				}
+			}
+			captures = append(captures, captureEvent{bit: v.Bit, site: port.Sites[0]})
+			if end := ti.Start + v.DurationSamples; end > captureEnd {
+				captureEnd = end
+			}
+		case *pulse.Delay, *pulse.Barrier:
+			// Timing-only; already resolved.
+		default:
+			return nil, fmt.Errorf("simq: unsupported instruction %T", ti.Instr)
+		}
+	}
+
+	makespan := sp.TotalDuration()
+	useDensity := opts.ForceDensity || len(e.Model.Collapses) > 0
+
+	var st *State
+	var rho *Density
+	if useDensity {
+		rho = NewDensity(e.Model.Dims)
+	} else {
+		st = NewState(e.Model.Dims)
+	}
+
+	if err := e.evolve(st, rho, plays, makespan, dt, opts); err != nil {
+		return nil, err
+	}
+
+	// Sample measurement outcomes from the final state.
+	sort.Slice(captures, func(i, j int) bool { return captures[i].bit < captures[j].bit })
+	res := &ExecResult{
+		Counts:          map[uint64]int{},
+		Shots:           opts.Shots,
+		DurationSamples: makespan,
+		DurationSeconds: float64(makespan) * dt,
+		FinalState:      st,
+		FinalDensity:    rho,
+	}
+	if len(captures) == 0 {
+		return res, nil
+	}
+	sites := make([]int, len(captures))
+	for i, c := range captures {
+		sites[i] = c.site
+		res.MeasuredBits = append(res.MeasuredBits, c.bit)
+	}
+	var raw []uint64
+	if useDensity {
+		raw = rho.SampleBits(rng, sites, opts.Shots)
+	} else {
+		raw = st.SampleBits(rng, sites, opts.Shots)
+	}
+	for _, r := range raw {
+		var mask uint64
+		for i, c := range captures {
+			bit := (r >> uint(i)) & 1
+			// Apply readout error.
+			if bit == 0 && opts.ReadoutP01 > 0 && rng.Float64() < opts.ReadoutP01 {
+				bit = 1
+			} else if bit == 1 && opts.ReadoutP10 > 0 && rng.Float64() < opts.ReadoutP10 {
+				bit = 0
+			}
+			mask |= bit << uint(c.bit)
+		}
+		res.Counts[mask]++
+	}
+	return res, nil
+}
+
+// sampleDt returns the common sample period; mixed sample rates across
+// played ports are rejected (real stacks resample instead; our devices
+// advertise one clock per device).
+func (e *Executor) sampleDt(sp *pulse.ScheduledProgram) (float64, error) {
+	var dt float64
+	for _, p := range sp.Schedule.Ports() {
+		if dt == 0 {
+			dt = p.Dt()
+		} else if math.Abs(dt-p.Dt()) > 1e-18 {
+			return 0, fmt.Errorf("simq: mixed sample rates (%g vs %g)", 1/dt, p.Dt())
+		}
+	}
+	if dt == 0 {
+		return 0, fmt.Errorf("simq: schedule has no ports")
+	}
+	return dt, nil
+}
+
+// evolve integrates the dynamics over [0, makespan) ticks.
+func (e *Executor) evolve(st *State, rho *Density, plays []playEvent, makespan int64, dt float64, opts ExecOptions) error {
+	n := e.Model.HilbertDim()
+	sort.Slice(plays, func(i, j int) bool { return plays[i].start < plays[j].start })
+
+	// Segment boundaries: every play start/end.
+	bounds := map[int64]bool{0: true, makespan: true}
+	for _, p := range plays {
+		bounds[p.start] = true
+		bounds[p.start+int64(len(p.samples))] = true
+	}
+	ticks := make([]int64, 0, len(bounds))
+	for t := range bounds {
+		if t >= 0 && t <= makespan {
+			ticks = append(ticks, t)
+		}
+	}
+	sort.Slice(ticks, func(i, j int) bool { return ticks[i] < ticks[j] })
+
+	h := linalg.NewMatrix(n, n)
+	driftIsZero := e.Model.Drift.MaxAbs() == 0
+
+	for si := 0; si+1 < len(ticks); si++ {
+		t0, t1 := ticks[si], ticks[si+1]
+		if t0 == t1 {
+			continue
+		}
+		active := activePlays(plays, t0)
+		if len(active) == 0 {
+			// Idle segment: constant drift (+ decoherence). The unitary part
+			// is applied exactly in one shot; the dissipator is integrated
+			// with capped RK4 steps (its rates are slow, so this is stable).
+			segT := float64(t1-t0) * dt
+			if rho != nil {
+				if !driftIsZero {
+					u, err := linalg.ExpI(e.Model.Drift, segT)
+					if err != nil {
+						return err
+					}
+					rho.ApplyFull(u)
+				}
+				if len(e.Model.Collapses) > 0 {
+					steps := int(math.Ceil(segT / opts.MaxIdleStep))
+					if steps < 1 {
+						steps = 1
+					}
+					sub := segT / float64(steps)
+					for k := 0; k < steps; k++ {
+						DissipatorStepRK4(rho, e.Model.Collapses, sub)
+					}
+				}
+			} else if !driftIsZero {
+				u, err := linalg.ExpI(e.Model.Drift, segT)
+				if err != nil {
+					return err
+				}
+				st.ApplyFull(u)
+			}
+			continue
+		}
+		// Driven segment: step per sample.
+		for tick := t0; tick < t1; tick++ {
+			copy(h.Data, e.Model.Drift.Data)
+			tAbs := float64(tick) * dt
+			for _, p := range active {
+				idx := tick - p.start
+				s := p.samples[idx]
+				if s == 0 && p.detune == 0 {
+					continue
+				}
+				mod := cmplx.Exp(complex(0, -2*math.Pi*p.detune*tAbs))
+				chi := s * p.chi0 * mod
+				p.ch.driveTerm(h, chi)
+			}
+			if rho != nil {
+				if err := SplitStep(h, rho, e.Model.Collapses, dt); err != nil {
+					return err
+				}
+			} else {
+				u, err := linalg.ExpI(h, dt)
+				if err != nil {
+					return err
+				}
+				st.ApplyFull(u)
+			}
+		}
+	}
+	if st != nil {
+		st.Renormalize()
+	}
+	return nil
+}
+
+func activePlays(plays []playEvent, t int64) []playEvent {
+	var out []playEvent
+	for _, p := range plays {
+		if p.start <= t && t < p.start+int64(len(p.samples)) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package vqe
+
+import (
+	"fmt"
+
+	"mqsspulse/internal/optctl"
+	"mqsspulse/internal/qdmi"
+	"mqsspulse/internal/qir"
+)
+
+// Estimator measures Hamiltonian expectation values by running ansatz
+// circuits on a QDMI device, one job per qubit-wise-commuting measurement
+// group.
+type Estimator struct {
+	Dev   qdmi.Device
+	Shots int
+}
+
+// formatFor picks the submission format for a module.
+func formatFor(m *qir.Module) qdmi.ProgramFormat {
+	if m.UsesPulse() {
+		return qdmi.FormatQIRPulse
+	}
+	return qdmi.FormatQIRBase
+}
+
+// Energy estimates ⟨H⟩ for the ansatz at params. It returns the energy and
+// the longest executed schedule duration (the decoherence exposure of one
+// evaluation).
+func (e *Estimator) Energy(h *Hamiltonian, a Ansatz, params []float64) (float64, float64, error) {
+	groups, identity := h.GroupTerms()
+	energy := identity
+	var maxDur float64
+	for _, g := range groups {
+		mod, err := a.BuildModule(params, g.Basis)
+		if err != nil {
+			return 0, 0, err
+		}
+		job, err := e.Dev.SubmitJob([]byte(mod.Emit()), formatFor(mod), e.Shots)
+		if err != nil {
+			return 0, 0, err
+		}
+		if st := job.Wait(); st != qdmi.JobDone {
+			_, rerr := job.Result()
+			return 0, 0, fmt.Errorf("vqe: job %s %v: %v", job.ID(), st, rerr)
+		}
+		res, err := job.Result()
+		if err != nil {
+			return 0, 0, err
+		}
+		energy += GroupEnergy(g, res.Counts, res.Shots)
+		if res.DurationSeconds > maxDur {
+			maxDur = res.DurationSeconds
+		}
+	}
+	return energy, maxDur, nil
+}
+
+// Options configures a VQE run.
+type Options struct {
+	// Shots per measurement group per evaluation (default 512).
+	Shots int
+	// MaxEvals bounds optimizer evaluations (default 150).
+	MaxEvals int
+	// InitStep is the Nelder-Mead initial simplex size (default 0.4).
+	InitStep float64
+}
+
+// RunResult summarizes a VQE optimization.
+type RunResult struct {
+	Energy float64
+	Params []float64
+	Evals  int
+	// ScheduleSeconds is the ansatz schedule duration at the optimum — the
+	// quantity ctrl-VQE shrinks relative to gate-level ansätze.
+	ScheduleSeconds float64
+	// Trace is the best-so-far energy after each evaluation.
+	Trace []float64
+}
+
+// Run minimizes the measured energy over the ansatz parameters with
+// Nelder-Mead — the classical optimizer loop of the paper's Listing 1
+// (calculate_new_parameters).
+func Run(dev qdmi.Device, h *Hamiltonian, a Ansatz, x0 []float64, opts Options) (*RunResult, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x0) != a.NumParams() {
+		return nil, fmt.Errorf("vqe: x0 has %d params, ansatz wants %d", len(x0), a.NumParams())
+	}
+	if opts.Shots <= 0 {
+		opts.Shots = 512
+	}
+	if opts.MaxEvals <= 0 {
+		opts.MaxEvals = 150
+	}
+	if opts.InitStep <= 0 {
+		opts.InitStep = 0.4
+	}
+	est := &Estimator{Dev: dev, Shots: opts.Shots}
+	res := &RunResult{}
+	best := 1e18
+	objective := func(x []float64) float64 {
+		e, _, err := est.Energy(h, a, x)
+		if err != nil {
+			// Penalize invalid parameter regions instead of aborting the
+			// simplex; construction errors come from amplitude clipping.
+			return 1e9
+		}
+		res.Evals++
+		if e < best {
+			best = e
+		}
+		res.Trace = append(res.Trace, best)
+		return e
+	}
+	x, fv, _ := optctl.NelderMead(objective, x0, optctl.NelderMeadOptions{
+		MaxEvals: opts.MaxEvals, InitStep: opts.InitStep, Tol: 1e-6,
+	})
+	res.Params = x
+	res.Energy = fv
+	// Record the optimum's schedule duration with a fresh evaluation.
+	if _, dur, err := est.Energy(h, a, x); err == nil {
+		res.ScheduleSeconds = dur
+	}
+	return res, nil
+}

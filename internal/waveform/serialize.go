@@ -1,0 +1,83 @@
+package waveform
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Spec is the wire representation of a waveform for the exchange format and
+// QDMI payloads: either explicit samples or a parametric (kind, params,
+// length) triple. Exactly one of Samples / Kind must be set.
+type Spec struct {
+	Name    string             `json:"name"`
+	Samples [][2]float64       `json:"samples,omitempty"` // [re, im] pairs
+	Kind    string             `json:"kind,omitempty"`
+	Params  map[string]float64 `json:"params,omitempty"`
+	Length  int                `json:"length,omitempty"`
+}
+
+// ToSpec converts an explicit waveform to its wire form.
+func (w *Waveform) ToSpec() Spec {
+	s := Spec{Name: w.Name, Samples: make([][2]float64, len(w.Samples))}
+	for i, v := range w.Samples {
+		s.Samples[i] = [2]float64{real(v), imag(v)}
+	}
+	return s
+}
+
+// SpecFromEnvelope builds a parametric wire form.
+func SpecFromEnvelope(name string, e Envelope, n int) Spec {
+	return Spec{Name: name, Kind: e.Kind(), Params: e.Params(), Length: n}
+}
+
+// Materialize turns a Spec (explicit or parametric) back into a concrete
+// Waveform.
+func (s Spec) Materialize() (*Waveform, error) {
+	switch {
+	case len(s.Samples) > 0 && s.Kind != "":
+		return nil, fmt.Errorf("%w: spec %q has both samples and kind", ErrBadParam, s.Name)
+	case len(s.Samples) > 0:
+		cs := make([]complex128, len(s.Samples))
+		for i, p := range s.Samples {
+			cs[i] = complex(p[0], p[1])
+		}
+		return New(s.Name, cs)
+	case s.Kind != "":
+		env, err := EnvelopeFromSpec(s.Kind, s.Params)
+		if err != nil {
+			return nil, err
+		}
+		return env.Materialize(s.Name, s.Length)
+	default:
+		return nil, fmt.Errorf("%w: spec %q is empty", ErrEmpty, s.Name)
+	}
+}
+
+// MarshalJSON gives Spec a stable, NaN-safe encoding.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	for k, v := range s.Params {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("waveform: non-finite parameter %s=%v in spec %q", k, v, s.Name)
+		}
+	}
+	for i, p := range s.Samples {
+		if math.IsNaN(p[0]) || math.IsNaN(p[1]) || math.IsInf(p[0], 0) || math.IsInf(p[1], 0) {
+			return nil, fmt.Errorf("waveform: non-finite sample %d in spec %q", i, s.Name)
+		}
+	}
+	type alias Spec
+	return json.Marshal(alias(s))
+}
+
+// Encode serializes a waveform to JSON.
+func Encode(w *Waveform) ([]byte, error) { return json.Marshal(w.ToSpec()) }
+
+// Decode deserializes a waveform from JSON, materializing parametric specs.
+func Decode(data []byte) (*Waveform, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("waveform: decode: %w", err)
+	}
+	return s.Materialize()
+}
