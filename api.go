@@ -24,6 +24,9 @@
 package mqsspulse
 
 import (
+	"context"
+	"time"
+
 	"mqsspulse/internal/calib"
 	"mqsspulse/internal/client"
 	"mqsspulse/internal/compiler"
@@ -45,16 +48,76 @@ type (
 	Circuit = qpi.Circuit
 	// Result carries measured counts.
 	Result = qpi.Result
-	// Backend executes finished kernels.
+	// Backend executes finished kernels asynchronously.
 	Backend = qpi.Backend
+	// Handle is a future tracking one asynchronous execution.
+	Handle = qpi.Handle
+	// ExecStatus is the lifecycle state of an execution.
+	ExecStatus = qpi.ExecStatus
+	// ExecConfig is the resolved submission configuration backends receive.
+	ExecConfig = qpi.ExecConfig
+	// ExecOption tunes one submission (shots, priority, deadline, ...).
+	ExecOption = qpi.ExecOption
 )
+
+// Execution states.
+const (
+	ExecQueued    = qpi.ExecQueued
+	ExecRunning   = qpi.ExecRunning
+	ExecDone      = qpi.ExecDone
+	ExecFailed    = qpi.ExecFailed
+	ExecCancelled = qpi.ExecCancelled
+)
+
+// DefaultShots is the shot count used when no WithShots option is given.
+const DefaultShots = qpi.DefaultShots
+
+// ErrCancelled is the sentinel wrapped into the error of a cancelled job;
+// test with errors.Is.
+var ErrCancelled = qdmi.ErrCancelled
+
+// WithShots sets the number of measurement shots.
+func WithShots(n int) ExecOption { return qpi.WithShots(n) }
+
+// WithPriority sets the scheduler priority (higher dispatches first).
+func WithPriority(p int) ExecOption { return qpi.WithPriority(p) }
+
+// WithTag attaches a caller label to the submission.
+func WithTag(tag string) ExecOption { return qpi.WithTag(tag) }
+
+// WithDeadline bounds the execution; past it the job is cancelled.
+func WithDeadline(t time.Time) ExecOption { return qpi.WithDeadline(t) }
+
+// WithTimeout is WithDeadline relative to now.
+func WithTimeout(d time.Duration) ExecOption { return qpi.WithTimeout(d) }
+
+// WithoutCache bypasses compilation caches for this submission.
+func WithoutCache() ExecOption { return qpi.WithoutCache() }
 
 // NewCircuit begins a kernel (the paper's qCircuitBegin).
 func NewCircuit(name string, qubits, classical int) *Circuit {
 	return qpi.NewCircuit(name, qubits, classical)
 }
 
-// Execute dispatches a finished kernel to a backend (the paper's qExecute).
+// Run executes a finished kernel on a backend under ctx — the
+// context-aware form of the paper's qExecute. Cancelling ctx (or passing
+// WithDeadline/WithTimeout) cancels the job wherever it is: queued work
+// never reaches the device and running work is aborted where the device
+// supports it.
+func Run(ctx context.Context, b Backend, c *Circuit, opts ...ExecOption) (*Result, error) {
+	return qpi.Run(ctx, b, c, opts...)
+}
+
+// Start submits a kernel asynchronously and returns its Handle future.
+func Start(ctx context.Context, b Backend, c *Circuit, opts ...ExecOption) (Handle, error) {
+	return qpi.Start(ctx, b, c, opts...)
+}
+
+// Execute dispatches a finished kernel synchronously, detached from any
+// context.
+//
+// Deprecated: use Run, which threads a context.Context through every
+// layer and accepts functional options.
 func Execute(b Backend, c *Circuit, shots int) (*Result, error) { return qpi.Execute(b, c, shots) }
 
 // Pulse abstractions (paper Section 4).
@@ -135,9 +198,35 @@ type (
 	Server = client.Server
 	// SubmitOptions tunes a submission.
 	SubmitOptions = client.SubmitOptions
+	// BatchResult pairs one batch entry's outcome with its error.
+	BatchResult = client.BatchResult
 	// Ticket tracks a queued job.
 	Ticket = qrm.Ticket
+	// ServerOption tunes a Server (idle timeouts, job time caps).
+	ServerOption = client.ServerOption
+	// RemoteOption tunes a RemoteAdapter (dial timeouts).
+	RemoteOption = client.RemoteOption
 )
+
+// WithServerBaseContext bounds every job the server runs.
+func WithServerBaseContext(ctx context.Context) ServerOption {
+	return client.WithServerBaseContext(ctx)
+}
+
+// WithServerIdleTimeout drops connections idle for the duration.
+func WithServerIdleTimeout(d time.Duration) ServerOption {
+	return client.WithServerIdleTimeout(d)
+}
+
+// WithServerMaxJobTime caps each remote job's wall-clock time.
+func WithServerMaxJobTime(d time.Duration) ServerOption {
+	return client.WithServerMaxJobTime(d)
+}
+
+// WithDialTimeout bounds remote connection establishment.
+func WithDialTimeout(d time.Duration) RemoteOption {
+	return client.WithDialTimeout(d)
+}
 
 // Stack bundles driver, session, and client over a set of devices — the
 // one-call setup used by the examples.
@@ -166,10 +255,19 @@ func (s *Stack) Close() {
 }
 
 // NewServer exposes a client over TCP.
-func NewServer(c *Client, addr string) (*Server, error) { return client.NewServer(c, addr) }
+func NewServer(c *Client, addr string, opts ...ServerOption) (*Server, error) {
+	return client.NewServer(c, addr, opts...)
+}
 
-// NewRemoteAdapter dials a remote MQSS client.
-func NewRemoteAdapter(addr string) (*RemoteAdapter, error) { return client.NewRemoteAdapter(addr) }
+// NewRemoteAdapter dials a remote MQSS client, detached from any context.
+func NewRemoteAdapter(addr string, opts ...RemoteOption) (*RemoteAdapter, error) {
+	return client.NewRemoteAdapter(addr, opts...)
+}
+
+// NewRemoteAdapterCtx dials a remote MQSS client under ctx.
+func NewRemoteAdapterCtx(ctx context.Context, addr string, opts ...RemoteOption) (*RemoteAdapter, error) {
+	return client.NewRemoteAdapterCtx(ctx, addr, opts...)
+}
 
 // Compiler and exchange format (paper Sections 5.2, 5.4).
 type (

@@ -1,6 +1,7 @@
 package mqsspulse_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -42,7 +43,7 @@ func TestFacadeCircuitExecution(t *testing.T) {
 	if err := k.End(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := stack.Client.Run(k, "fac-run", mqsspulse.SubmitOptions{Shots: 1000})
+	res, err := stack.Client.RunCtx(context.Background(), k, "fac-run", mqsspulse.SubmitOptions{Shots: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestFacadeCircuitExecution(t *testing.T) {
 	}
 	// The adapter path.
 	backend := &mqsspulse.NativeAdapter{Client: stack.Client, Target: "fac-run"}
-	res2, err := mqsspulse.Execute(backend, k, 500)
+	res2, err := mqsspulse.Run(context.Background(), backend, k, mqsspulse.WithShots(500))
 	if err != nil {
 		t.Fatal(err)
 	}

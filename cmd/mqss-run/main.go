@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 
 	"mqsspulse/internal/client"
@@ -27,7 +29,18 @@ func main() {
 	in := flag.String("in", "", "input program file in QPI text grammar (default: stdin)")
 	shots := flag.Int("shots", 1024, "measurement shots")
 	sites := flag.Int("sites", 2, "device site count")
+	timeout := flag.Duration("timeout", 0, "bound the whole run (0 = no deadline)")
 	flag.Parse()
+
+	// Ctrl-C cancels the in-flight job (queued work never dispatches;
+	// running work is aborted on devices that support it).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var dev *devices.SimDevice
 	var err error
@@ -60,7 +73,7 @@ func main() {
 	cl := client.New(drv.OpenSession())
 	defer cl.Close()
 	adapter := &client.InterpretedAdapter{Client: cl, Target: dev.Name()}
-	res, err := adapter.Execute(string(src), *shots)
+	res, err := adapter.ExecuteCtx(ctx, string(src), client.SubmitOptions{Shots: *shots})
 	if err != nil {
 		fatal(err)
 	}

@@ -7,8 +7,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	mqsspulse "mqsspulse"
 )
@@ -72,7 +74,9 @@ func main() {
 	if err := kernel.End(); err != nil {
 		log.Fatal(err)
 	}
-	res, err := stack.Client.Run(kernel, "custom-sc", mqsspulse.SubmitOptions{Shots: 4000})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := stack.Client.RunCtx(ctx, kernel, "custom-sc", mqsspulse.SubmitOptions{Shots: 4000})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,7 +91,7 @@ func main() {
 	if err := single.End(); err != nil {
 		log.Fatal(err)
 	}
-	res1, err := stack.Client.Run(single, "custom-sc", mqsspulse.SubmitOptions{Shots: 4000})
+	res1, err := stack.Client.RunCtx(ctx, single, "custom-sc", mqsspulse.SubmitOptions{Shots: 4000})
 	if err != nil {
 		log.Fatal(err)
 	}

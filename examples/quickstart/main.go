@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	mqsspulse "mqsspulse"
 )
@@ -44,7 +46,12 @@ func main() {
 	fmt.Println(firstLines(string(res.Payload), 14))
 
 	// Execute through the client (compile happens again behind the cache).
-	result, err := stack.Client.Run(bell, "demo-sc", mqsspulse.SubmitOptions{Shots: 4096})
+	// One context bounds the whole trip — compile, queue, device execution;
+	// a blown deadline cancels the job wherever it is.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	backend := &mqsspulse.NativeAdapter{Client: stack.Client, Target: "demo-sc"}
+	result, err := mqsspulse.Run(ctx, backend, bell, mqsspulse.WithShots(4096))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,6 +59,33 @@ func main() {
 	fmt.Printf("schedule duration: %.4g µs\n", result.DurationSeconds*1e6)
 	for mask := uint64(0); mask < 4; mask++ {
 		fmt.Printf("  |%02b⟩: %5d (%.3f)\n", mask, result.Counts[mask], result.Probability(mask))
+	}
+
+	// Batch submission: a parameter sweep compiles concurrently and the
+	// jobs pipeline through the device queue without draining in between.
+	var sweep []*mqsspulse.Circuit
+	for i := 0; i < 8; i++ {
+		theta := float64(i) * 0.4
+		k := mqsspulse.NewCircuit(fmt.Sprintf("sweep-%d", i), 1, 1).
+			RX(0, theta).
+			Measure(0, 0)
+		if err := k.End(); err != nil {
+			log.Fatal(err)
+		}
+		sweep = append(sweep, k)
+	}
+	batch, err := stack.Client.RunBatch(ctx, sweep, "demo-sc",
+		mqsspulse.SubmitOptions{Shots: 512, Tag: "rx-sweep"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- RX(θ) sweep via RunBatch ---")
+	for i, br := range batch {
+		if br.Err != nil {
+			fmt.Printf("  θ=%.1f: error: %v\n", float64(i)*0.4, br.Err)
+			continue
+		}
+		fmt.Printf("  θ=%.1f: P(1)=%.3f\n", float64(i)*0.4, br.Result.Probability(1))
 	}
 }
 

@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	mqsspulse "mqsspulse"
 )
@@ -22,7 +24,8 @@ func main() {
 		log.Fatal(err)
 	}
 	defer stack.Close()
-	srv, err := mqsspulse.NewServer(stack.Client, "127.0.0.1:0")
+	srv, err := mqsspulse.NewServer(stack.Client, "127.0.0.1:0",
+		mqsspulse.WithServerMaxJobTime(time.Minute))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,12 +50,19 @@ func main() {
 	fmt.Printf("compiled payload: %d bytes of QIR (%s profile)\n",
 		len(res.Payload), res.QIR.Profile)
 
-	remote, err := mqsspulse.NewRemoteAdapter(srv.Addr())
+	// The login node bounds the whole remote round-trip with one context:
+	// the dial, the wire exchange, and — because the adapter ships the
+	// remaining budget as the job timeout — the device execution itself.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	remote, err := mqsspulse.NewRemoteAdapterCtx(ctx, srv.Addr(),
+		mqsspulse.WithDialTimeout(5*time.Second))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer remote.Close()
-	out, err := remote.SubmitPayload("hpc-sc", res.Payload, mqsspulse.FormatQIRPulse, 4096)
+	out, err := remote.SubmitPayloadCtx(ctx, "hpc-sc", res.Payload, mqsspulse.FormatQIRPulse,
+		mqsspulse.SubmitOptions{Shots: 4096, Tag: "login-node-demo"})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module mqsspulse
+
+go 1.24

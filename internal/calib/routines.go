@@ -1,6 +1,7 @@
 package calib
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -80,7 +81,7 @@ func runP1(dev qdmi.Device, mod *qir.Module, shots int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if st := job.Wait(); st != qdmi.JobDone {
+	if st := job.Wait(context.Background()); st != qdmi.JobDone {
 		_, rerr := job.Result()
 		return 0, fmt.Errorf("calib: job %s %v: %v", job.ID(), st, rerr)
 	}

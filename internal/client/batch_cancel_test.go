@@ -1,0 +1,373 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mqsspulse/internal/qdmi"
+	"mqsspulse/internal/qpi"
+	"mqsspulse/internal/qrm"
+)
+
+// blockGate installs a maintenance hook that parks the QRM worker until
+// release is closed, holding every subsequent dispatch in the queue.
+func blockGate(c *Client) (release chan struct{}, entered chan struct{}) {
+	release = make(chan struct{})
+	entered = make(chan struct{}, 16)
+	c.QRM().SetMaintenanceHook(func(qdmi.Device) error {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release
+		return nil
+	})
+	return release, entered
+}
+
+func TestClientCancelQueuedPreventsExecution(t *testing.T) {
+	c, _ := testStack(t)
+	release, entered := blockGate(c)
+
+	// First submission occupies the worker inside the maintenance hook.
+	first, err := c.SubmitCtx(context.Background(), bell(t), "hpcqc-sc", SubmitOptions{Shots: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	// Second submission sits in the queue; cancel its context.
+	ctx, cancel := context.WithCancel(context.Background())
+	second, err := c.SubmitCtx(ctx, bell(t), "hpcqc-sc", SubmitOptions{Shots: 50, Tag: "doomed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := second.Wait(context.Background()); !errors.Is(err, qrm.ErrCancelled) {
+		t.Fatalf("queued cancel: err = %v", err)
+	}
+	close(release)
+	if _, err := first.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The cancelled job never reached the device: exactly one completion.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.QRM().Stats().Cancelled == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	st := c.QRM().Stats()
+	if st.Completed != 1 || st.Cancelled != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRunDeadlineThroughFullStack(t *testing.T) {
+	c, _ := testStack(t)
+	release, entered := blockGate(c)
+	defer close(release)
+
+	backend := &NativeAdapter{Client: c, Target: "hpcqc-sc"}
+	// Park the worker so the deadline bites while the job is queued.
+	first, err := c.SubmitCtx(context.Background(), bell(t), "hpcqc-sc", SubmitOptions{Shots: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = first
+	<-entered
+
+	start := time.Now()
+	_, err = qpi.Run(context.Background(), backend, bell(t),
+		qpi.WithShots(50), qpi.WithTimeout(80*time.Millisecond))
+	if err == nil {
+		t.Fatal("deadline did not fire")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, qrm.ErrCancelled) {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Run returned after %v, want ≈80ms", elapsed)
+	}
+}
+
+func TestHandleStatusAndCancel(t *testing.T) {
+	c, _ := testStack(t)
+	release, entered := blockGate(c)
+	defer close(release)
+
+	backend := &NativeAdapter{Client: c, Target: "hpcqc-sc"}
+	h, err := qpi.Start(context.Background(), backend, bell(t), qpi.WithShots(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ID() == "" {
+		t.Fatal("handle without ID")
+	}
+	<-entered // the submission is now inside the worker
+	h.Cancel()
+	if _, err := h.Wait(context.Background()); !errors.Is(err, qrm.ErrCancelled) {
+		t.Fatalf("err = %v", err)
+	}
+	if st := h.Status(); st != qpi.ExecCancelled {
+		t.Fatalf("status = %v", st)
+	}
+}
+
+func TestRunBatchPartialFailure(t *testing.T) {
+	c, _ := testStack(t)
+	good1 := bell(t)
+	bad := qpi.NewCircuit("bad", 1, 0).X(9) // out-of-range qubit
+	_ = bad.End()
+	good2 := bell(t)
+	results, err := c.RunBatch(context.Background(), []*qpi.Circuit{good1, bad, good2},
+		"hpcqc-sc", SubmitOptions{Shots: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("len = %d", len(results))
+	}
+	if results[0].Err != nil || results[0].Result == nil || results[0].Result.Shots != 100 {
+		t.Fatalf("good1: %+v", results[0])
+	}
+	if results[1].Err == nil || results[1].Result != nil {
+		t.Fatalf("bad entry succeeded: %+v", results[1])
+	}
+	if results[2].Err != nil || results[2].Result == nil {
+		t.Fatalf("good2: %+v", results[2])
+	}
+}
+
+func TestRunBatchCancelledContext(t *testing.T) {
+	c, _ := testStack(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.RunBatch(ctx, []*qpi.Circuit{bell(t)}, "hpcqc-sc", SubmitOptions{Shots: 10}); err == nil {
+		t.Fatal("cancelled batch accepted")
+	}
+}
+
+// TestRunBatchConcurrentSubmitters exercises concurrent RunBatch calls for
+// the -race pass: several goroutines batch-submit against the same client
+// and device simultaneously.
+func TestRunBatchConcurrentSubmitters(t *testing.T) {
+	c, _ := testStack(t)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			kernels := make([]*qpi.Circuit, 6)
+			for i := range kernels {
+				k := qpi.NewCircuit(fmt.Sprintf("g%d-k%d", g, i), 2, 2).
+					H(0).CX(0, 1).Measure(0, 0).Measure(1, 1)
+				if err := k.End(); err != nil {
+					errCh <- err
+					return
+				}
+				kernels[i] = k
+			}
+			results, err := c.RunBatch(context.Background(), kernels, "hpcqc-sc",
+				SubmitOptions{Shots: 16, Tag: fmt.Sprintf("tenant-%d", g)})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			for i, r := range results {
+				if r.Err != nil {
+					errCh <- fmt.Errorf("g%d item %d: %w", g, i, r.Err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+func TestLoweringCacheWaveformSamplesKeyed(t *testing.T) {
+	// Two kernels with identical op structure but different sample data
+	// under the same waveform name must not share a cache entry.
+	c, dev := testStack(t)
+	amp := dev.CalibratedPiAmplitude(0)
+	make2 := func(scale float64) *qpi.Circuit {
+		samples := make([]complex128, 32)
+		for i := range samples {
+			samples[i] = complex(amp*scale, 0)
+		}
+		k := qpi.NewCircuit("wf", 1, 1).
+			Waveform("w", samples).
+			PlayWaveform("q0-drive", "w").
+			Measure(0, 0)
+		if err := k.End(); err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	p1, _, err := c.Compile(make2(0.9), "hpcqc-sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := c.Compile(make2(0.4), "hpcqc-sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p1) == string(p2) {
+		t.Fatal("different waveform samples collided in the lowering cache")
+	}
+	if c.CacheHits() != 0 {
+		t.Fatalf("cache hits = %d, want 0 (distinct kernels)", c.CacheHits())
+	}
+	// Same samples do hit.
+	if _, _, err := c.Compile(make2(0.9), "hpcqc-sc"); err != nil {
+		t.Fatal(err)
+	}
+	if c.CacheHits() != 1 {
+		t.Fatalf("cache hits = %d, want 1", c.CacheHits())
+	}
+}
+
+func TestSubmitBypassCache(t *testing.T) {
+	c, _ := testStack(t)
+	k := bell(t)
+	if _, _, err := c.Compile(k, "hpcqc-sc"); err != nil {
+		t.Fatal(err)
+	}
+	// A bypassing submission recompiles without touching hit counters.
+	if _, err := c.RunCtx(context.Background(), k, "hpcqc-sc",
+		SubmitOptions{Shots: 16, BypassCache: true}); err != nil {
+		t.Fatal(err)
+	}
+	if c.CacheHits() != 0 {
+		t.Fatalf("bypass still hit the cache (%d)", c.CacheHits())
+	}
+	// A normal submission hits.
+	if _, err := c.RunCtx(context.Background(), k, "hpcqc-sc", SubmitOptions{Shots: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if c.CacheHits() != 1 {
+		t.Fatalf("cache hits = %d", c.CacheHits())
+	}
+}
+
+func TestRemoteSubmitDeadline(t *testing.T) {
+	// A blocked worker holds the remote job; the 150ms context must bound
+	// the round trip. Either side may report it first (the adapter's read
+	// deadline or the server's wire-propagated timeout) — both are errors
+	// delivered promptly.
+	c, _ := testStack(t)
+	release, entered := blockGate(c)
+	defer close(release)
+
+	srv, err := NewServer(c, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	payload, format, err := c.Compile(bell(t), "hpcqc-sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park the worker so the remote job cannot finish in time.
+	first, err := c.SubmitCtx(context.Background(), bell(t), "hpcqc-sc", SubmitOptions{Shots: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = first
+	<-entered
+
+	remote, err := NewRemoteAdapterCtx(context.Background(), srv.Addr(), WithDialTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = remote.SubmitPayloadCtx(ctx, "hpcqc-sc", payload, format, SubmitOptions{Shots: 16})
+	if err == nil {
+		t.Fatal("remote deadline did not fire")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("remote submit returned after %v, want ≈150ms", elapsed)
+	}
+}
+
+func TestRemoteCancelledContextPoisonsConnection(t *testing.T) {
+	// A mute endpoint never answers, so the context is guaranteed to fire
+	// mid-read; the adapter must surface ctx.Err() promptly and poison the
+	// half-read connection so later submissions fail fast.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { _, _ = io.Copy(io.Discard, conn) }() // swallow, never reply
+		}
+	}()
+
+	remote, err := NewRemoteAdapter(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = remote.SubmitPayloadCtx(ctx, "dev", []byte("payload"), qdmi.FormatQIRBase, SubmitOptions{Shots: 16})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("submit returned after %v, want ≈120ms", elapsed)
+	}
+	if _, err := remote.SubmitPayload("dev", []byte("payload"), qdmi.FormatQIRBase, 16); err == nil {
+		t.Fatal("poisoned connection accepted a submission")
+	}
+}
+
+func TestServerMaxJobTime(t *testing.T) {
+	c, _ := testStack(t)
+	release, entered := blockGate(c)
+	defer close(release)
+
+	srv, err := NewServer(c, "127.0.0.1:0", WithServerMaxJobTime(120*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	payload, format, err := c.Compile(bell(t), "hpcqc-sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := c.SubmitCtx(context.Background(), bell(t), "hpcqc-sc", SubmitOptions{Shots: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = first
+	<-entered
+
+	remote, err := NewRemoteAdapter(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	// No client deadline: the server-side cap alone bounds the job.
+	if _, err := remote.SubmitPayload("hpcqc-sc", payload, format, 16); err == nil {
+		t.Fatal("server job cap did not fire")
+	}
+}

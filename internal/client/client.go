@@ -6,10 +6,25 @@
 // interpreted adapter that parses a textual program per call (the
 // scripting-runtime stand-in for the Section 5.1 overhead comparison), and
 // the remote adapter.
+//
+// The execution surface is context-aware and asynchronous: SubmitCtx
+// returns a scheduler ticket bound to the caller's context, RunCtx waits
+// under it, and RunBatch compiles many kernels concurrently and pipelines
+// them through the scheduler. The pre-context entry points (Submit, Run)
+// remain as deprecated shims.
 package client
 
 import (
+	"bytes"
+	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
 	"sync"
 
 	"mqsspulse/internal/compiler"
@@ -26,9 +41,16 @@ type Client struct {
 	mu sync.Mutex
 	// loweringCache memoizes compiled payloads keyed by (device, kernel
 	// fingerprint); ablation benchmarks toggle it.
-	loweringCache map[string][]byte
+	loweringCache map[string]cacheEntry
 	CacheEnabled  bool
 	cacheHits     int64
+}
+
+// cacheEntry stores the compiled payload together with its exchange
+// format, so cache hits never re-derive the format from payload bytes.
+type cacheEntry struct {
+	payload []byte
+	format  qdmi.ProgramFormat
 }
 
 // New builds a client over a QDMI session with its own QRM scheduler.
@@ -36,7 +58,7 @@ func New(session *qdmi.Session) *Client {
 	return &Client{
 		session:       session,
 		qrm:           qrm.New(session),
-		loweringCache: map[string][]byte{},
+		loweringCache: map[string]cacheEntry{},
 		CacheEnabled:  true,
 	}
 }
@@ -60,36 +82,66 @@ func (c *Client) CacheHits() int64 {
 // Close shuts down the scheduler.
 func (c *Client) Close() { c.qrm.Close() }
 
-// fingerprint builds a cache key from the kernel structure.
+// fingerprint builds a cache key from the kernel structure in one linear
+// pass over the ops (a strings.Builder, not repeated concatenation).
+// Waveform sample data participates through a digest: two kernels that
+// define different samples under the same waveform name must not collide.
 func fingerprint(k *qpi.Circuit, device string) string {
-	key := fmt.Sprintf("%s/%s/%d/%d/%d", device, k.Name, k.Qubits, k.Classical, len(k.Ops))
+	var b strings.Builder
+	b.Grow(64 + 48*len(k.Ops))
+	fmt.Fprintf(&b, "%s/%s/%d/%d/%d", device, k.Name, k.Qubits, k.Classical, len(k.Ops))
 	for _, op := range k.Ops {
-		key += fmt.Sprintf("|%d:%s:%v:%v:%s:%s:%g:%g:%d:%d:%d",
+		fmt.Fprintf(&b, "|%d:%s:%v:%v:%s:%s:%g:%g:%d:%d:%d",
 			op.Kind, op.Gate, op.Qubits, op.Params, op.WaveformName, op.Port,
 			op.FrequencyHz, op.PhaseRad, op.DelaySamples, op.Qubit, op.Cbit)
 	}
-	return key
+	if len(k.Waveforms) > 0 {
+		fmt.Fprintf(&b, "|wf:%016x", waveformDigest(k))
+	}
+	return b.String()
+}
+
+// waveformDigest hashes every waveform's sample data in name order.
+func waveformDigest(k *qpi.Circuit) uint64 {
+	names := make([]string, 0, len(k.Waveforms))
+	for name := range k.Waveforms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	var buf [16]byte
+	for _, name := range names {
+		_, _ = io.WriteString(h, name)
+		_, _ = h.Write([]byte{0})
+		for _, s := range k.Waveforms[name].Samples {
+			binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(real(s)))
+			binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(imag(s)))
+			_, _ = h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
 }
 
 // Compile lowers a kernel for a device, using the lowering cache when
 // enabled.
 func (c *Client) Compile(k *qpi.Circuit, device string) ([]byte, qdmi.ProgramFormat, error) {
+	return c.compile(k, device, false)
+}
+
+func (c *Client) compile(k *qpi.Circuit, device string, bypassCache bool) ([]byte, qdmi.ProgramFormat, error) {
 	dev, err := c.session.Device(device)
 	if err != nil {
 		return nil, "", err
 	}
-	key := fingerprint(k, device)
-	if c.CacheEnabled {
+	useCache := c.CacheEnabled && !bypassCache
+	key := ""
+	if useCache {
+		key = fingerprint(k, device)
 		c.mu.Lock()
-		if payload, ok := c.loweringCache[key]; ok {
+		if entry, ok := c.loweringCache[key]; ok {
 			c.cacheHits++
 			c.mu.Unlock()
-			// Format is derivable from the payload profile; recompute cheaply.
-			format := qdmi.FormatQIRBase
-			if containsPulse(payload) {
-				format = qdmi.FormatQIRPulse
-			}
-			return payload, format, nil
+			return entry.payload, entry.format, nil
 		}
 		c.mu.Unlock()
 	}
@@ -97,32 +149,36 @@ func (c *Client) Compile(k *qpi.Circuit, device string) ([]byte, qdmi.ProgramFor
 	if err != nil {
 		return nil, "", err
 	}
-	if c.CacheEnabled {
+	format := compiler.FormatFor(res.QIR)
+	if useCache {
 		c.mu.Lock()
-		c.loweringCache[key] = res.Payload
+		c.loweringCache[key] = cacheEntry{payload: res.Payload, format: format}
 		c.mu.Unlock()
 	}
-	return res.Payload, compiler.FormatFor(res.QIR), nil
+	return res.Payload, format, nil
 }
 
+// containsPulse reports whether a QIR payload carries the pulse profile
+// attribute (format sniffing for raw payloads).
 func containsPulse(payload []byte) bool {
-	needle := []byte(`"qir_profiles"="pulse"`)
-	for i := 0; i+len(needle) <= len(payload); i++ {
-		if string(payload[i:i+len(needle)]) == string(needle) {
-			return true
-		}
-	}
-	return false
+	return bytes.Contains(payload, []byte(`"qir_profiles"="pulse"`))
 }
 
 // SubmitOptions tunes a submission.
 type SubmitOptions struct {
 	Shots    int
 	Priority int
+	// Tag labels the ticket for tracing and per-tenant accounting.
+	Tag string
+	// BypassCache skips the lowering cache for this submission.
+	BypassCache bool
 }
 
-// Submit compiles and enqueues a kernel, returning the QRM ticket.
-func (c *Client) Submit(k *qpi.Circuit, device string, opts SubmitOptions) (*qrm.Ticket, error) {
+// SubmitCtx compiles and enqueues a kernel under ctx, returning the QRM
+// ticket. Cancelling ctx cancels the job wherever it is: a queued ticket
+// never reaches the device; a running one is aborted where the device
+// supports it.
+func (c *Client) SubmitCtx(ctx context.Context, k *qpi.Circuit, device string, opts SubmitOptions) (*qrm.Ticket, error) {
 	if err := k.Err(); err != nil {
 		return nil, err
 	}
@@ -130,29 +186,111 @@ func (c *Client) Submit(k *qpi.Circuit, device string, opts SubmitOptions) (*qrm
 		return nil, fmt.Errorf("client: kernel %q not finished", k.Name)
 	}
 	if opts.Shots <= 0 {
-		opts.Shots = 1024
+		opts.Shots = qpi.DefaultShots
 	}
-	payload, format, err := c.Compile(k, device)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("client: submit: %w", err)
+	}
+	payload, format, err := c.compile(k, device, opts.BypassCache)
 	if err != nil {
 		return nil, err
 	}
-	return c.qrm.Submit(qrm.Request{
+	return c.qrm.SubmitCtx(ctx, qrm.Request{
 		Device: device, Payload: payload, Format: format,
-		Shots: opts.Shots, Priority: opts.Priority,
+		Shots: opts.Shots, Priority: opts.Priority, Tag: opts.Tag,
 	})
 }
 
-// Run is the synchronous convenience wrapper: compile, schedule, wait.
-func (c *Client) Run(k *qpi.Circuit, device string, opts SubmitOptions) (*qpi.Result, error) {
-	tk, err := c.Submit(k, device, opts)
+// RunCtx is the synchronous context-aware path: compile, schedule, and
+// wait, all bounded by one ctx.
+func (c *Client) RunCtx(ctx context.Context, k *qpi.Circuit, device string, opts SubmitOptions) (*qpi.Result, error) {
+	tk, err := c.SubmitCtx(ctx, k, device, opts)
 	if err != nil {
 		return nil, err
 	}
-	res, err := tk.Wait()
+	res, err := tk.Wait(ctx)
 	if err != nil {
 		return nil, err
 	}
 	return &qpi.Result{Counts: res.Counts, Shots: res.Shots, DurationSeconds: res.DurationSeconds}, nil
+}
+
+// Submit compiles and enqueues a kernel detached from any context.
+//
+// Deprecated: use SubmitCtx so cancellation and deadlines propagate.
+func (c *Client) Submit(k *qpi.Circuit, device string, opts SubmitOptions) (*qrm.Ticket, error) {
+	return c.SubmitCtx(context.Background(), k, device, opts)
+}
+
+// Run is the synchronous convenience wrapper detached from any context.
+//
+// Deprecated: use RunCtx.
+func (c *Client) Run(k *qpi.Circuit, device string, opts SubmitOptions) (*qpi.Result, error) {
+	return c.RunCtx(context.Background(), k, device, opts)
+}
+
+// BatchResult pairs one batch entry's outcome with its error; exactly one
+// of the fields is set.
+type BatchResult struct {
+	Result *qpi.Result
+	Err    error
+}
+
+// batchCompileWorkers bounds concurrent JIT compilations in a batch.
+func batchCompileWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// SubmitBatch compiles the kernels concurrently (bounded by the CPU count)
+// and enqueues one ticket each under ctx. The returned slices are parallel
+// to kernels: entries that failed to compile or enqueue have a nil ticket
+// and a non-nil error. Successfully submitted entries proceed even if
+// siblings failed — batch failure is per-item, not all-or-nothing.
+func (c *Client) SubmitBatch(ctx context.Context, kernels []*qpi.Circuit, device string, opts SubmitOptions) ([]*qrm.Ticket, []error) {
+	tickets := make([]*qrm.Ticket, len(kernels))
+	errs := make([]error, len(kernels))
+	sem := make(chan struct{}, batchCompileWorkers())
+	var wg sync.WaitGroup
+	for i, k := range kernels {
+		wg.Add(1)
+		go func(i int, k *qpi.Circuit) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tickets[i], errs[i] = c.SubmitCtx(ctx, k, device, opts)
+		}(i, k)
+	}
+	wg.Wait()
+	return tickets, errs
+}
+
+// RunBatch submits N kernels as a batch and waits for all of them. The
+// result slice is parallel to kernels; sibling failures and cancellations
+// surface per item. Compared with N sequential RunCtx calls, compilation
+// overlaps across kernels and the device queue never drains between jobs.
+func (c *Client) RunBatch(ctx context.Context, kernels []*qpi.Circuit, device string, opts SubmitOptions) ([]BatchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("client: batch: %w", err)
+	}
+	tickets, errs := c.SubmitBatch(ctx, kernels, device, opts)
+	out := make([]BatchResult, len(kernels))
+	for i, tk := range tickets {
+		if tk == nil {
+			out[i].Err = errs[i]
+			continue
+		}
+		res, err := tk.Wait(ctx)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i].Result = &qpi.Result{Counts: res.Counts, Shots: res.Shots, DurationSeconds: res.DurationSeconds}
+	}
+	return out, nil
 }
 
 // NativeAdapter is the MQSS QPI Adapter: a compiled, in-process qpi.Backend
@@ -165,7 +303,76 @@ type NativeAdapter struct {
 // Name implements qpi.Backend.
 func (a *NativeAdapter) Name() string { return "qpi-native/" + a.Target }
 
-// Execute implements qpi.Backend.
+// Submit implements qpi.Backend: it threads the execution config into the
+// client and wraps the scheduler ticket as a qpi.Handle. A config deadline
+// derives a deadline context whose expiry cancels the job itself.
+func (a *NativeAdapter) Submit(ctx context.Context, k *qpi.Circuit, cfg qpi.ExecConfig) (qpi.Handle, error) {
+	opts := SubmitOptions{
+		Shots:       cfg.Shots,
+		Priority:    cfg.Priority,
+		Tag:         cfg.Tag,
+		BypassCache: cfg.BypassCache,
+	}
+	var cancel context.CancelFunc
+	if !cfg.Deadline.IsZero() {
+		ctx, cancel = context.WithDeadline(ctx, cfg.Deadline)
+	}
+	tk, err := a.Client.SubmitCtx(ctx, k, a.Target, opts)
+	if err != nil {
+		if cancel != nil {
+			cancel()
+		}
+		return nil, err
+	}
+	if cancel != nil {
+		// Release the deadline timer once the ticket resolves.
+		go func() {
+			<-tk.DoneCh()
+			cancel()
+		}()
+	}
+	return &ticketHandle{tk: tk}, nil
+}
+
+// Execute runs a kernel synchronously, detached from any context.
+//
+// Deprecated: use qpi.Run(ctx, adapter, kernel, opts...) instead.
 func (a *NativeAdapter) Execute(k *qpi.Circuit, shots int) (*qpi.Result, error) {
-	return a.Client.Run(k, a.Target, SubmitOptions{Shots: shots})
+	return a.Client.RunCtx(context.Background(), k, a.Target, SubmitOptions{Shots: shots})
+}
+
+// ticketHandle adapts a QRM ticket to the qpi.Handle future interface.
+type ticketHandle struct {
+	tk *qrm.Ticket
+}
+
+// ID implements qpi.Handle.
+func (h *ticketHandle) ID() string { return fmt.Sprintf("qrm-%d", h.tk.ID()) }
+
+// Status implements qpi.Handle.
+func (h *ticketHandle) Status() qpi.ExecStatus {
+	switch h.tk.Status() {
+	case qdmi.JobQueued:
+		return qpi.ExecQueued
+	case qdmi.JobRunning:
+		return qpi.ExecRunning
+	case qdmi.JobDone:
+		return qpi.ExecDone
+	case qdmi.JobCancelled:
+		return qpi.ExecCancelled
+	default:
+		return qpi.ExecFailed
+	}
+}
+
+// Cancel implements qpi.Handle.
+func (h *ticketHandle) Cancel() { h.tk.Cancel() }
+
+// Wait implements qpi.Handle.
+func (h *ticketHandle) Wait(ctx context.Context) (*qpi.Result, error) {
+	res, err := h.tk.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &qpi.Result{Counts: res.Counts, Shots: res.Shots, DurationSeconds: res.DurationSeconds}, nil
 }

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -176,11 +177,19 @@ func (a *InterpretedAdapter) ParseProgram(src string) (*qpi.Circuit, error) {
 	return c, nil
 }
 
-// Execute parses and runs a textual program.
-func (a *InterpretedAdapter) Execute(src string, shots int) (*qpi.Result, error) {
+// ExecuteCtx parses and runs a textual program under ctx: cancellation and
+// deadlines propagate through the scheduler to the device.
+func (a *InterpretedAdapter) ExecuteCtx(ctx context.Context, src string, opts SubmitOptions) (*qpi.Result, error) {
 	c, err := a.ParseProgram(src)
 	if err != nil {
 		return nil, err
 	}
-	return a.Client.Run(c, a.Target, SubmitOptions{Shots: shots})
+	return a.Client.RunCtx(ctx, c, a.Target, opts)
+}
+
+// Execute parses and runs a textual program detached from any context.
+//
+// Deprecated: use ExecuteCtx.
+func (a *InterpretedAdapter) Execute(src string, shots int) (*qpi.Result, error) {
+	return a.ExecuteCtx(context.Background(), src, SubmitOptions{Shots: shots})
 }

@@ -2,10 +2,13 @@ package client
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"mqsspulse/internal/qdmi"
 	"mqsspulse/internal/qpi"
@@ -14,13 +17,19 @@ import (
 
 // The remote protocol is one JSON object per line in each direction —
 // the REST-like submission path of Fig. 2, reduced to its essentials.
+// Deadlines cross the machine boundary: the adapter ships the remaining
+// context budget as timeout_ms and the server bounds the job with it.
 
 // remoteRequest is the wire form of a job submission.
 type remoteRequest struct {
-	Device  string `json:"device"`
-	Format  string `json:"format"`
-	Payload string `json:"payload"`
-	Shots   int    `json:"shots"`
+	Device   string `json:"device"`
+	Format   string `json:"format"`
+	Payload  string `json:"payload"`
+	Shots    int    `json:"shots"`
+	Priority int    `json:"priority,omitempty"`
+	Tag      string `json:"tag,omitempty"`
+	// TimeoutMs bounds the job server-side; 0 means no client deadline.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 }
 
 // remoteResponse is the wire form of a completed job.
@@ -32,22 +41,57 @@ type remoteResponse struct {
 	DeviceInfo      map[string]string `json:"device_info,omitempty"`
 }
 
+// ServerOption tunes a Server.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	baseCtx     context.Context
+	idleTimeout time.Duration
+	maxJobTime  time.Duration
+}
+
+// WithServerBaseContext bounds every job the server runs: cancelling ctx
+// cancels all in-flight remote jobs (on top of Close, which always does).
+func WithServerBaseContext(ctx context.Context) ServerOption {
+	return func(c *serverConfig) { c.baseCtx = ctx }
+}
+
+// WithServerIdleTimeout drops connections that send no request for d.
+func WithServerIdleTimeout(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.idleTimeout = d }
+}
+
+// WithServerMaxJobTime caps each remote job's wall-clock time regardless
+// of the client-requested timeout.
+func WithServerMaxJobTime(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.maxJobTime = d }
+}
+
 // Server exposes a client's devices over TCP for remote submission.
 type Server struct {
 	client *Client
 	ln     net.Listener
+	cfg    serverConfig
+	ctx    context.Context // cancelled on Close; parent of every job ctx
+	cancel context.CancelFunc
 	wg     sync.WaitGroup
 	mu     sync.Mutex
 	closed bool
 }
 
-// NewServer starts listening on addr ("127.0.0.1:0" for an ephemeral port).
-func NewServer(c *Client, addr string) (*Server, error) {
+// NewServer starts listening on addr ("127.0.0.1:0" for an ephemeral
+// port). Options tune idle/read deadlines and job time bounds.
+func NewServer(c *Client, addr string, opts ...ServerOption) (*Server, error) {
+	cfg := serverConfig{baseCtx: context.Background()}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{client: c, ln: ln}
+	ctx, cancel := context.WithCancel(cfg.baseCtx)
+	s := &Server{client: c, ln: ln, cfg: cfg, ctx: ctx, cancel: cancel}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -56,7 +100,8 @@ func NewServer(c *Client, addr string) (*Server, error) {
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and waits for in-flight connections.
+// Close stops the listener, cancels in-flight jobs, and waits for
+// connections to drain.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -66,6 +111,7 @@ func (s *Server) Close() {
 	s.closed = true
 	s.mu.Unlock()
 	s.ln.Close()
+	s.cancel()
 	s.wg.Wait()
 }
 
@@ -86,10 +132,19 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) serve(conn net.Conn) {
 	defer conn.Close()
+	// Unblock reads when the server shuts down mid-connection.
+	stop := context.AfterFunc(s.ctx, func() { _ = conn.SetDeadline(time.Now()) })
+	defer stop()
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	enc := json.NewEncoder(conn)
-	for scanner.Scan() {
+	for {
+		if s.cfg.idleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.idleTimeout))
+		}
+		if !scanner.Scan() {
+			return
+		}
 		var req remoteRequest
 		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
 			_ = enc.Encode(remoteResponse{Error: "malformed request: " + err.Error()})
@@ -102,17 +157,45 @@ func (s *Server) serve(conn net.Conn) {
 	}
 }
 
+// jobContext derives the context bounding one remote job from the server
+// base context, the server-side cap, and the client-requested timeout.
+func (s *Server) jobContext(req *remoteRequest) (context.Context, context.CancelFunc) {
+	timeout := time.Duration(0)
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if s.cfg.maxJobTime > 0 && (timeout == 0 || s.cfg.maxJobTime < timeout) {
+		timeout = s.cfg.maxJobTime
+	}
+	if timeout > 0 {
+		return context.WithTimeout(s.ctx, timeout)
+	}
+	return context.WithCancel(s.ctx)
+}
+
 func (s *Server) handle(req *remoteRequest) remoteResponse {
-	tk, err := s.client.qrm.Submit(qrm.Request{
-		Device:  req.Device,
-		Payload: []byte(req.Payload),
-		Format:  qdmi.ProgramFormat(req.Format),
-		Shots:   req.Shots,
+	ctx, cancel := s.jobContext(req)
+	defer cancel()
+	format := qdmi.ProgramFormat(req.Format)
+	if format == "" {
+		// Legacy clients may omit the format; sniff the payload profile.
+		format = qdmi.FormatQIRBase
+		if containsPulse([]byte(req.Payload)) {
+			format = qdmi.FormatQIRPulse
+		}
+	}
+	tk, err := s.client.qrm.SubmitCtx(ctx, qrm.Request{
+		Device:   req.Device,
+		Payload:  []byte(req.Payload),
+		Format:   format,
+		Shots:    req.Shots,
+		Priority: req.Priority,
+		Tag:      req.Tag,
 	})
 	if err != nil {
 		return remoteResponse{Error: err.Error()}
 	}
-	res, err := tk.Wait()
+	res, err := tk.Wait(ctx)
 	if err != nil {
 		return remoteResponse{Error: err.Error()}
 	}
@@ -121,6 +204,18 @@ func (s *Server) handle(req *remoteRequest) remoteResponse {
 		counts[fmt.Sprintf("%d", mask)] = n
 	}
 	return remoteResponse{Counts: counts, Shots: res.Shots, DurationSeconds: res.DurationSeconds}
+}
+
+// RemoteOption tunes a RemoteAdapter.
+type RemoteOption func(*remoteConfig)
+
+type remoteConfig struct {
+	dialTimeout time.Duration
+}
+
+// WithDialTimeout bounds connection establishment.
+func WithDialTimeout(d time.Duration) RemoteOption {
+	return func(c *remoteConfig) { c.dialTimeout = d }
 }
 
 // RemoteAdapter submits compiled payloads to a remote MQSS client over TCP.
@@ -132,9 +227,20 @@ type RemoteAdapter struct {
 	rd   *bufio.Reader
 }
 
-// NewRemoteAdapter dials the remote server.
-func NewRemoteAdapter(addr string) (*RemoteAdapter, error) {
-	conn, err := net.Dial("tcp", addr)
+// NewRemoteAdapter dials the remote server, detached from any context.
+func NewRemoteAdapter(addr string, opts ...RemoteOption) (*RemoteAdapter, error) {
+	return NewRemoteAdapterCtx(context.Background(), addr, opts...)
+}
+
+// NewRemoteAdapterCtx dials the remote server under ctx: cancellation or a
+// ctx deadline aborts the dial.
+func NewRemoteAdapterCtx(ctx context.Context, addr string, opts ...RemoteOption) (*RemoteAdapter, error) {
+	cfg := remoteConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	d := net.Dialer{Timeout: cfg.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -145,32 +251,77 @@ func NewRemoteAdapter(addr string) (*RemoteAdapter, error) {
 func (r *RemoteAdapter) Close() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.closeLocked()
+}
+
+func (r *RemoteAdapter) closeLocked() {
 	if r.conn != nil {
 		r.conn.Close()
 		r.conn = nil
+		r.rd = nil
 	}
 }
 
-// SubmitPayload sends a precompiled exchange-format payload and waits for
-// the result.
-func (r *RemoteAdapter) SubmitPayload(device string, payload []byte, format qdmi.ProgramFormat, shots int) (*qpi.Result, error) {
+// SubmitPayloadCtx sends a precompiled exchange-format payload and waits
+// for the result under ctx. The remaining context budget ships to the
+// server as the job timeout, and a cancelled ctx interrupts a blocked read
+// immediately (the connection is then closed: the protocol has no way to
+// resynchronize a half-read response).
+func (r *RemoteAdapter) SubmitPayloadCtx(ctx context.Context, device string, payload []byte, format qdmi.ProgramFormat, opts SubmitOptions) (*qpi.Result, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.conn == nil {
 		return nil, fmt.Errorf("client: remote adapter closed")
 	}
-	req := remoteRequest{Device: device, Format: string(format), Payload: string(payload), Shots: shots}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("client: remote: %w", err)
+	}
+	req := remoteRequest{
+		Device: device, Format: string(format), Payload: string(payload),
+		Shots: opts.Shots, Priority: opts.Priority, Tag: opts.Tag,
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		if remaining <= 0 {
+			return nil, fmt.Errorf("client: remote: %w", context.DeadlineExceeded)
+		}
+		// Round sub-millisecond budgets up to 1ms: truncating to 0 would
+		// read as "no deadline" server-side and leave the job unbounded.
+		req.TimeoutMs = remaining.Milliseconds()
+		if req.TimeoutMs == 0 {
+			req.TimeoutMs = 1
+		}
+		_ = r.conn.SetWriteDeadline(dl)
+	}
+	conn := r.conn
+
 	data, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := r.conn.Write(append(data, '\n')); err != nil {
-		return nil, err
+	if _, err := conn.Write(append(data, '\n')); err != nil {
+		return nil, r.wireError(ctx, err)
 	}
-	line, err := r.rd.ReadBytes('\n')
-	if err != nil {
-		return nil, err
+	_ = conn.SetWriteDeadline(time.Time{})
+	// Read in short deadline slices, checking ctx between them: a fired
+	// ctx surfaces within one slice, and — unlike an asynchronous
+	// interrupt — no callback can race a successful exchange and leave a
+	// stale past deadline on the shared connection.
+	var line []byte
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		chunk, err := r.rd.ReadBytes('\n')
+		line = append(line, chunk...)
+		if err == nil {
+			break
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() && ctx.Err() == nil {
+			continue // still waiting; partial data accumulated above
+		}
+		return nil, r.wireError(ctx, err)
 	}
+	_ = conn.SetReadDeadline(time.Time{})
 	var resp remoteResponse
 	if err := json.Unmarshal(line, &resp); err != nil {
 		return nil, err
@@ -187,4 +338,23 @@ func (r *RemoteAdapter) SubmitPayload(device string, payload []byte, format qdmi
 		counts[mask] = v
 	}
 	return &qpi.Result{Counts: counts, Shots: resp.Shots, DurationSeconds: resp.DurationSeconds}, nil
+}
+
+// wireError maps an I/O error on the shared connection. The line-oriented
+// protocol cannot resynchronize after a partial exchange, so any wire
+// error poisons the connection: close it so later submissions fail fast
+// instead of desyncing. A fired context is reported as the context error.
+func (r *RemoteAdapter) wireError(ctx context.Context, err error) error {
+	r.closeLocked()
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("client: remote: %w", cerr)
+	}
+	return err
+}
+
+// SubmitPayload sends a payload detached from any context.
+//
+// Deprecated: use SubmitPayloadCtx so deadlines cross the wire.
+func (r *RemoteAdapter) SubmitPayload(device string, payload []byte, format qdmi.ProgramFormat, shots int) (*qpi.Result, error) {
+	return r.SubmitPayloadCtx(context.Background(), device, payload, format, SubmitOptions{Shots: shots})
 }

@@ -1,6 +1,7 @@
 package compiler
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -130,7 +131,7 @@ func TestCompileBellEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st := job.Wait(); st != qdmi.JobDone {
+	if st := job.Wait(context.Background()); st != qdmi.JobDone {
 		r, rerr := job.Result()
 		t.Fatalf("job %v: %v %v", st, r, rerr)
 	}
@@ -170,7 +171,7 @@ func TestCompileListing1KernelEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st := job.Wait(); st != qdmi.JobDone {
+	if st := job.Wait(context.Background()); st != qdmi.JobDone {
 		_, rerr := job.Result()
 		t.Fatalf("job %v: %v", st, rerr)
 	}
@@ -200,7 +201,7 @@ func TestCompiledGateSemantics(t *testing.T) {
 		t.Fatal(err)
 	}
 	job, _ := dev.SubmitJob(res.Payload, FormatFor(res.QIR), 2000)
-	job.Wait()
+	job.Wait(context.Background())
 	out, err := job.Result()
 	if err != nil {
 		t.Fatal(err)
@@ -221,7 +222,7 @@ func TestCompiledInterferenceSemantics(t *testing.T) {
 		t.Fatal(err)
 	}
 	job, _ := dev.SubmitJob(res.Payload, FormatFor(res.QIR), 2000)
-	job.Wait()
+	job.Wait(context.Background())
 	out, err := job.Result()
 	if err != nil {
 		t.Fatal(err)
@@ -308,7 +309,7 @@ func TestLegalizePadsOddWaveforms(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st := job.Wait(); st != qdmi.JobDone {
+	if st := job.Wait(context.Background()); st != qdmi.JobDone {
 		_, rerr := job.Result()
 		t.Fatalf("padded payload failed: %v %v", st, rerr)
 	}

@@ -1,6 +1,7 @@
 package compiler
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -155,7 +156,7 @@ func TestRandomCircuitEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: submit: %v", trial, err)
 		}
-		if st := job.Wait(); st != qdmi.JobDone {
+		if st := job.Wait(context.Background()); st != qdmi.JobDone {
 			_, rerr := job.Result()
 			t.Fatalf("trial %d: job %v: %v", trial, st, rerr)
 		}

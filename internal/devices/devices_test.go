@@ -1,6 +1,7 @@
 package devices
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -20,7 +21,7 @@ func run(t *testing.T, d *SimDevice, m *qir.Module, shots int) *qdmi.Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st := job.Wait(); st != qdmi.JobDone {
+	if st := job.Wait(context.Background()); st != qdmi.JobDone {
 		res, rerr := job.Result()
 		t.Fatalf("job %s: status %v, result %v err %v", job.ID(), st, res, rerr)
 	}
@@ -627,7 +628,7 @@ func TestJobsSerializePerDevice(t *testing.T) {
 		jobs[i] = j
 	}
 	for i, j := range jobs {
-		if st := j.Wait(); st != qdmi.JobDone {
+		if st := j.Wait(context.Background()); st != qdmi.JobDone {
 			t.Fatalf("job %d: %v", i, st)
 		}
 	}

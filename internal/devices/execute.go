@@ -1,8 +1,10 @@
 package devices
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"mqsspulse/internal/pulse"
 	"mqsspulse/internal/qdmi"
@@ -306,9 +308,28 @@ func (d *SimDevice) SubmitJob(payload []byte, format qdmi.ProgramFormat, shots i
 	return job, nil
 }
 
+// runJob executes a payload on the simulated hardware. SimDevice jobs
+// support the qdmi.RunningCanceller capability: the pipeline polls
+// job.Aborted between stages and the dynamics engine polls it between
+// integration segments, so a CancelRunning lands promptly and the result of
+// an aborted job is discarded.
 func (d *SimDevice) runJob(job *qdmi.AsyncJob, mod *qir.Module, binding *qir.DeviceBinding, shots int, seed int64) {
 	if !job.Start() {
 		return
+	}
+	d.mu.Lock()
+	overhead := d.jobOverhead
+	d.mu.Unlock()
+	if overhead > 0 {
+		// Hold the device for the electronics overhead; a cancelled job
+		// releases it immediately.
+		timer := time.NewTimer(overhead)
+		select {
+		case <-timer.C:
+		case <-job.Done():
+			timer.Stop()
+			return
+		}
 	}
 	sched, err := qir.BuildSchedule(mod, binding)
 	if err != nil {
@@ -320,6 +341,9 @@ func (d *SimDevice) runJob(job *qdmi.AsyncJob, mod *qir.Module, binding *qir.Dev
 		job.Fail(err)
 		return
 	}
+	if job.Aborted() {
+		return
+	}
 	model, err := d.trueModel()
 	if err != nil {
 		job.Fail(err)
@@ -327,13 +351,16 @@ func (d *SimDevice) runJob(job *qdmi.AsyncJob, mod *qir.Module, binding *qir.Dev
 	}
 	pErr := 1 - d.cfg.ReadoutFidelity
 	res, err := simq.NewExecutor(model).Run(sp, simq.ExecOptions{
-		Shots:      shots,
-		Seed:       seed,
-		ReadoutP01: pErr,
-		ReadoutP10: pErr,
+		Shots:       shots,
+		Seed:        seed,
+		ReadoutP01:  pErr,
+		ReadoutP10:  pErr,
+		Interrupted: job.Aborted,
 	})
 	if err != nil {
-		job.Fail(err)
+		if !errors.Is(err, simq.ErrInterrupted) {
+			job.Fail(err)
+		}
 		return
 	}
 	job.Finish(&qdmi.Result{

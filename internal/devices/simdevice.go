@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"mqsspulse/internal/pulse"
 	"mqsspulse/internal/qdmi"
@@ -33,6 +34,9 @@ type SimDevice struct {
 	calibPiAmp   []float64
 	customPulses map[string]*qdmi.PulseImpl
 	nextJob      int
+	// jobOverhead models fixed control-electronics wall-clock per job
+	// (arming, waveform upload, readout transfer); zero disables it.
+	jobOverhead time.Duration
 
 	ports      []*pulse.Port
 	drivePort  []string // per site
@@ -139,6 +143,16 @@ func (d *SimDevice) buildPorts() {
 
 // Name implements qdmi.Device.
 func (d *SimDevice) Name() string { return d.cfg.Name }
+
+// SetJobOverhead models the fixed control-electronics wall-clock cost per
+// job (arming, waveform upload, readout transfer): every job holds the
+// device for t in addition to simulating its schedule. Zero (the default)
+// disables the model. Cancelling a job interrupts the overhead wait.
+func (d *SimDevice) SetJobOverhead(t time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.jobOverhead = t
+}
 
 // AdvanceTime moves the simulated wall clock forward, evolving the drift
 // processes. Calibration experiments call this to emulate hours of

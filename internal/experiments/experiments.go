@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -231,13 +232,13 @@ func F2EndToEnd() (*Table, error) {
 	gate := BellKernel()
 	pulseK := PulseKernel(dev)
 	if err := measure("local", "gate (bell)", jobs, func() error {
-		_, err := cl.Run(gate, "f2-sc", client.SubmitOptions{Shots: 256})
+		_, err := cl.RunCtx(context.Background(), gate, "f2-sc", client.SubmitOptions{Shots: 256})
 		return err
 	}); err != nil {
 		return nil, err
 	}
 	if err := measure("local", "pulse (listing 1)", jobs, func() error {
-		_, err := cl.Run(pulseK, "f2-sc", client.SubmitOptions{Shots: 256})
+		_, err := cl.RunCtx(context.Background(), pulseK, "f2-sc", client.SubmitOptions{Shots: 256})
 		return err
 	}); err != nil {
 		return nil, err
@@ -257,7 +258,7 @@ func F2EndToEnd() (*Table, error) {
 		return nil, err
 	}
 	if err := measure("remote (TCP)", "gate (bell)", jobs, func() error {
-		_, err := remote.SubmitPayload("f2-sc", payload, format, 256)
+		_, err := remote.SubmitPayloadCtx(context.Background(), "f2-sc", payload, format, client.SubmitOptions{Shots: 256})
 		return err
 	}); err != nil {
 		return nil, err

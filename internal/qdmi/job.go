@@ -1,28 +1,29 @@
 package qdmi
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
 
 // AsyncJob is a reusable Job implementation for devices that execute
 // payloads in a background goroutine. Devices construct it with NewAsyncJob
-// and complete it with Finish or Fail.
+// and complete it with Finish or Fail. It also implements the optional
+// RunningCanceller capability: device runtimes poll Aborted at execution
+// checkpoints and drop the result of an aborted job.
 type AsyncJob struct {
 	id string
 
 	mu     sync.Mutex
-	cond   *sync.Cond
 	status JobStatus
 	result *Result
 	err    error
+	done   chan struct{} // closed when the job reaches a terminal state
 }
 
 // NewAsyncJob creates a job in the queued state.
 func NewAsyncJob(id string) *AsyncJob {
-	j := &AsyncJob{id: id, status: JobQueued}
-	j.cond = sync.NewCond(&j.mu)
-	return j
+	return &AsyncJob{id: id, status: JobQueued, done: make(chan struct{})}
 }
 
 // ID implements Job.
@@ -47,33 +48,45 @@ func (j *AsyncJob) Start() bool {
 	return true
 }
 
-// Finish completes the job successfully.
+// Finish completes the job successfully. It is a no-op if the job already
+// reached a terminal state (e.g. it was cancelled mid-flight).
 func (j *AsyncJob) Finish(r *Result) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return
+	}
 	j.result = r
 	j.status = JobDone
-	j.cond.Broadcast()
+	close(j.done)
 }
 
-// Fail completes the job with an error.
+// Fail completes the job with an error. It is a no-op if the job already
+// reached a terminal state.
 func (j *AsyncJob) Fail(err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return
+	}
 	j.err = err
 	j.status = JobFailed
-	j.cond.Broadcast()
+	close(j.done)
 }
 
-// Wait implements Job.
-func (j *AsyncJob) Wait() JobStatus {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	for j.status == JobQueued || j.status == JobRunning {
-		j.cond.Wait()
+// Wait implements Job: it blocks until the job reaches a terminal state or
+// ctx is cancelled, and returns the status observed at return (which is
+// non-terminal only if ctx fired first).
+func (j *AsyncJob) Wait(ctx context.Context) JobStatus {
+	select {
+	case <-j.done:
+	case <-ctx.Done():
 	}
-	return j.status
+	return j.Status()
 }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *AsyncJob) Done() <-chan struct{} { return j.done }
 
 // Result implements Job.
 func (j *AsyncJob) Result() (*Result, error) {
@@ -85,13 +98,14 @@ func (j *AsyncJob) Result() (*Result, error) {
 	case JobFailed:
 		return nil, j.err
 	case JobCancelled:
-		return nil, fmt.Errorf("%w: job %s was cancelled", ErrInvalidArgument, j.id)
+		return nil, fmt.Errorf("%w: job %s", ErrCancelled, j.id)
 	default:
 		return nil, fmt.Errorf("%w: job %s has not finished", ErrInvalidArgument, j.id)
 	}
 }
 
-// Cancel implements Job. Only queued jobs can be cancelled.
+// Cancel implements Job. Only queued jobs can be cancelled; use
+// CancelRunning to abort a job that may already be executing.
 func (j *AsyncJob) Cancel() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -99,6 +113,28 @@ func (j *AsyncJob) Cancel() error {
 		return fmt.Errorf("%w: job %s is %s", ErrInvalidArgument, j.id, j.status)
 	}
 	j.status = JobCancelled
-	j.cond.Broadcast()
+	close(j.done)
 	return nil
 }
+
+// CancelRunning implements the RunningCanceller capability: it aborts a
+// queued or running job. The device runtime observes the transition through
+// Aborted and discards any in-flight work.
+func (j *AsyncJob) CancelRunning() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.status {
+	case JobQueued, JobRunning:
+		j.status = JobCancelled
+		close(j.done)
+		return nil
+	case JobCancelled:
+		return nil
+	default:
+		return fmt.Errorf("%w: job %s is %s", ErrInvalidArgument, j.id, j.status)
+	}
+}
+
+// Aborted reports whether the job was cancelled; device execution loops
+// poll it at checkpoints and abandon aborted work.
+func (j *AsyncJob) Aborted() bool { return j.Status() == JobCancelled }

@@ -1,0 +1,76 @@
+package qdmi
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAsyncJobWaitContextCancel(t *testing.T) {
+	j := NewAsyncJob("j")
+	j.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if st := j.Wait(ctx); st != JobRunning {
+		t.Fatalf("status = %v, want still-running after abandoned wait", st)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("Wait did not honor the context deadline")
+	}
+	// The job is untouched; a fresh wait still sees it complete.
+	go j.Finish(&Result{Shots: 1})
+	if st := j.Wait(context.Background()); st != JobDone {
+		t.Fatalf("status = %v", st)
+	}
+}
+
+func TestAsyncJobCancelRunning(t *testing.T) {
+	j := NewAsyncJob("j")
+	if !j.Start() {
+		t.Fatal("start failed")
+	}
+	var rc RunningCanceller = j // capability is part of the type
+	if err := rc.CancelRunning(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Status() != JobCancelled || !j.Aborted() {
+		t.Fatalf("status = %v", j.Status())
+	}
+	// The device runtime's late Finish is dropped, not resurrected.
+	j.Finish(&Result{Shots: 5})
+	if j.Status() != JobCancelled {
+		t.Fatalf("finish resurrected a cancelled job: %v", j.Status())
+	}
+	if _, err := j.Result(); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v", err)
+	}
+	// Idempotent.
+	if err := j.CancelRunning(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncJobCancelRunningAfterDone(t *testing.T) {
+	j := NewAsyncJob("j")
+	j.Start()
+	j.Finish(&Result{Shots: 1})
+	if err := j.CancelRunning(); err == nil {
+		t.Fatal("cancel-running of done job accepted")
+	}
+	if res, err := j.Result(); err != nil || res.Shots != 1 {
+		t.Fatalf("result lost: %v %v", res, err)
+	}
+}
+
+func TestJobStatusTerminal(t *testing.T) {
+	for st, want := range map[JobStatus]bool{
+		JobQueued: false, JobRunning: false,
+		JobDone: true, JobFailed: true, JobCancelled: true,
+	} {
+		if st.Terminal() != want {
+			t.Errorf("%v.Terminal() = %v", st, st.Terminal())
+		}
+	}
+}

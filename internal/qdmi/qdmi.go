@@ -7,6 +7,7 @@
 package qdmi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -23,6 +24,10 @@ var (
 	ErrInvalidArgument = errors.New("qdmi: invalid argument")
 	// ErrFatal signals device-side failure (QDMI_ERROR_FATAL).
 	ErrFatal = errors.New("qdmi: fatal device error")
+	// ErrCancelled signals a job that was cancelled before producing a
+	// result; errors.Is lets callers distinguish cancellation from device
+	// failure.
+	ErrCancelled = errors.New("qdmi: job cancelled")
 )
 
 // DeviceProperty enumerates device-level queries. New properties can be
@@ -137,6 +142,17 @@ const (
 	JobCancelled
 )
 
+// Terminal reports whether the status is final (done, failed, or
+// cancelled): a terminal job never transitions again.
+func (s JobStatus) Terminal() bool {
+	switch s {
+	case JobDone, JobFailed, JobCancelled:
+		return true
+	default:
+		return false
+	}
+}
+
 // String implements fmt.Stringer.
 func (s JobStatus) String() string {
 	switch s {
@@ -168,12 +184,24 @@ type Job interface {
 	ID() string
 	// Status returns the current lifecycle state.
 	Status() JobStatus
-	// Wait blocks until the job leaves the queue/running states.
-	Wait() JobStatus
+	// Wait blocks until the job leaves the queue/running states or ctx is
+	// cancelled, whichever comes first, and returns the status observed at
+	// return. A cancelled ctx abandons only the wait, not the job.
+	Wait(ctx context.Context) JobStatus
 	// Result returns the measurement data of a JobDone job.
 	Result() (*Result, error)
 	// Cancel requests cancellation of a queued job.
 	Cancel() error
+}
+
+// RunningCanceller is an optional Job capability: devices whose runtimes
+// can abort an execution that has already started implement it. Callers
+// type-assert; jobs without the capability can only be cancelled while
+// queued.
+type RunningCanceller interface {
+	// CancelRunning aborts a queued or running job, transitioning it to
+	// JobCancelled.
+	CancelRunning() error
 }
 
 // PulseStep is one element of a calibrated pulse implementation. PortRole

@@ -1,6 +1,7 @@
 package qdmi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -315,7 +316,7 @@ func TestJobLifecycle(t *testing.T) {
 	if j.ID() == "" {
 		t.Fatal("job without ID")
 	}
-	if st := j.Wait(); st != JobDone {
+	if st := j.Wait(context.Background()); st != JobDone {
 		t.Fatalf("status = %v", st)
 	}
 	res, err := j.Result()
@@ -333,7 +334,7 @@ func TestJobFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st := j.Wait(); st != JobFailed {
+	if st := j.Wait(context.Background()); st != JobFailed {
 		t.Fatalf("status = %v", st)
 	}
 	if _, err := j.Result(); err == nil {
@@ -383,7 +384,7 @@ func TestJobWaitConcurrent(t *testing.T) {
 	j.Start()
 	done := make(chan JobStatus, 4)
 	for i := 0; i < 4; i++ {
-		go func() { done <- j.Wait() }()
+		go func() { done <- j.Wait(context.Background()) }()
 	}
 	time.Sleep(5 * time.Millisecond)
 	j.Finish(&Result{Shots: 1})

@@ -1,0 +1,169 @@
+package qpi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file is the execution half of the QPI: the context-aware,
+// asynchronous counterpart of the paper's qExecute. Kernels are submitted
+// to a Backend under a context.Context and tracked through Handle futures;
+// functional options carry per-submission tuning (shots, priority,
+// deadline, tag, cache bypass) without growing the positional signature.
+
+// DefaultShots is the shot count used when no WithShots option is given.
+const DefaultShots = 1024
+
+// ExecStatus is the lifecycle state of an asynchronous execution.
+type ExecStatus int
+
+// Execution states.
+const (
+	ExecQueued ExecStatus = iota
+	ExecRunning
+	ExecDone
+	ExecFailed
+	ExecCancelled
+)
+
+// String implements fmt.Stringer.
+func (s ExecStatus) String() string {
+	switch s {
+	case ExecQueued:
+		return "queued"
+	case ExecRunning:
+		return "running"
+	case ExecDone:
+		return "done"
+	case ExecFailed:
+		return "failed"
+	case ExecCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("ExecStatus(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the status is final.
+func (s ExecStatus) Terminal() bool {
+	switch s {
+	case ExecDone, ExecFailed, ExecCancelled:
+		return true
+	default:
+		return false
+	}
+}
+
+// ExecConfig is the resolved submission configuration a Backend receives.
+// Callers build it through ExecOption values; backends read it.
+type ExecConfig struct {
+	// Shots is the number of measurement samples (DefaultShots if no
+	// option is given).
+	Shots int
+	// Priority orders scheduler dispatch: higher runs first.
+	Priority int
+	// Tag is an optional caller label carried through the scheduler
+	// (tracing, per-tenant accounting).
+	Tag string
+	// Deadline, when non-zero, bounds the whole execution: the backend
+	// derives a deadline context so the job is cancelled when it passes.
+	Deadline time.Time
+	// BypassCache skips any compilation caches for this submission.
+	BypassCache bool
+}
+
+// ExecOption tunes one submission.
+type ExecOption func(*ExecConfig)
+
+// WithShots sets the number of measurement shots.
+func WithShots(n int) ExecOption { return func(c *ExecConfig) { c.Shots = n } }
+
+// WithPriority sets the scheduler priority (higher dispatches first).
+func WithPriority(p int) ExecOption { return func(c *ExecConfig) { c.Priority = p } }
+
+// WithTag attaches a caller label to the submission.
+func WithTag(tag string) ExecOption { return func(c *ExecConfig) { c.Tag = tag } }
+
+// WithDeadline bounds the execution: past it the job is cancelled wherever
+// it is (queued or, on devices that support aborts, running).
+func WithDeadline(t time.Time) ExecOption { return func(c *ExecConfig) { c.Deadline = t } }
+
+// WithTimeout is WithDeadline relative to now.
+func WithTimeout(d time.Duration) ExecOption {
+	return func(c *ExecConfig) { c.Deadline = time.Now().Add(d) }
+}
+
+// WithoutCache bypasses compilation caches for this submission.
+func WithoutCache() ExecOption { return func(c *ExecConfig) { c.BypassCache = true } }
+
+// NewExecConfig resolves options over the defaults.
+func NewExecConfig(opts ...ExecOption) ExecConfig {
+	cfg := ExecConfig{Shots: DefaultShots}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// Handle is a future tracking one asynchronous execution. Implementations
+// are provided by backends (the MQSS client wraps its scheduler ticket).
+type Handle interface {
+	// ID identifies the submission within its backend.
+	ID() string
+	// Status returns the execution state without blocking.
+	Status() ExecStatus
+	// Wait blocks until the execution finishes or ctx is cancelled. A
+	// cancelled ctx abandons only the wait (the job keeps running) and
+	// returns ctx.Err().
+	Wait(ctx context.Context) (*Result, error)
+	// Cancel requests cancellation of the execution itself: queued work
+	// never starts; running work is aborted where the device supports it.
+	Cancel()
+}
+
+// Backend executes finished kernels — implemented by the MQSS client
+// (which routes through QRM, the JIT compiler and QDMI) and by direct
+// device bindings in tests.
+type Backend interface {
+	// Name identifies the backend.
+	Name() string
+	// Submit starts an asynchronous execution under ctx: cancelling ctx
+	// cancels the job, queued or running.
+	Submit(ctx context.Context, c *Circuit, cfg ExecConfig) (Handle, error)
+}
+
+// Start validates a kernel and submits it asynchronously — the handle-based
+// form of the paper's qExecute(dev, circuit, nshots).
+func Start(ctx context.Context, b Backend, c *Circuit, opts ...ExecOption) (Handle, error) {
+	if c.Err() != nil {
+		return nil, c.Err()
+	}
+	if !c.Finished() {
+		return nil, errors.New("qpi: execute of unfinished circuit (call End)")
+	}
+	cfg := NewExecConfig(opts...)
+	if cfg.Shots <= 0 {
+		return nil, fmt.Errorf("qpi: non-positive shot count %d", cfg.Shots)
+	}
+	return b.Submit(ctx, c, cfg)
+}
+
+// Run is the synchronous form: Start then Wait under the same context, so
+// one ctx bounds compile, queueing, and execution end to end.
+func Run(ctx context.Context, b Backend, c *Circuit, opts ...ExecOption) (*Result, error) {
+	h, err := Start(ctx, b, c, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return h.Wait(ctx)
+}
+
+// Execute dispatches a kernel synchronously, detached from any context.
+//
+// Deprecated: use Run, which threads a context.Context through every layer
+// (cancellation, deadlines) and accepts functional options.
+func Execute(b Backend, c *Circuit, shots int) (*Result, error) {
+	return Run(context.Background(), b, c, WithShots(shots))
+}

@@ -101,18 +101,18 @@ type Circuit struct {
 }
 
 // NewCircuit begins a kernel (the paper's qCircuitBegin +
-// qInitClassicalRegisters).
+// qInitClassicalRegisters). Checks run in argument order and the first
+// failure is the one Err reports; later checks never overwrite it.
 func NewCircuit(name string, qubits, classical int) *Circuit {
 	c := &Circuit{Name: name, Qubits: qubits, Classical: classical,
 		Waveforms: map[string]*waveform.Waveform{}}
-	if qubits <= 0 {
-		c.err = errors.New("qpi: circuit needs at least one qubit")
-	}
-	if classical < 0 {
-		c.err = errors.New("qpi: negative classical register count")
-	}
-	if name == "" {
+	switch {
+	case name == "":
 		c.err = errors.New("qpi: circuit needs a name")
+	case qubits <= 0:
+		c.err = errors.New("qpi: circuit needs at least one qubit")
+	case classical < 0:
+		c.err = errors.New("qpi: negative classical register count")
 	}
 	return c
 }
@@ -394,29 +394,4 @@ func (r *Result) ExpectationZ(cb int) float64 {
 		}
 	}
 	return float64(acc) / float64(r.Shots)
-}
-
-// Backend executes finished kernels — implemented by the MQSS client (which
-// routes through QRM, the JIT compiler and QDMI) and by direct device
-// bindings in tests.
-type Backend interface {
-	// Name identifies the backend.
-	Name() string
-	// Execute runs the kernel for the given number of shots.
-	Execute(c *Circuit, shots int) (*Result, error)
-}
-
-// Execute validates and dispatches a kernel to a backend (the paper's
-// qExecute(dev, circuit, nshots)).
-func Execute(b Backend, c *Circuit, shots int) (*Result, error) {
-	if c.Err() != nil {
-		return nil, c.Err()
-	}
-	if !c.Finished() {
-		return nil, errors.New("qpi: execute of unfinished circuit (call End)")
-	}
-	if shots <= 0 {
-		return nil, fmt.Errorf("qpi: non-positive shot count %d", shots)
-	}
-	return b.Execute(c, shots)
 }

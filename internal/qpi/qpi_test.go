@@ -1,6 +1,7 @@
 package qpi
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -127,18 +128,75 @@ func TestWaveformEnvelope(t *testing.T) {
 }
 
 type fakeBackend struct {
-	lastShots int
-	ran       *Circuit
+	lastCfg ExecConfig
+	lastCtx context.Context
+	ran     *Circuit
+}
+
+type fakeHandle struct {
+	res       *Result
+	cancelled bool
+}
+
+func (h *fakeHandle) ID() string         { return "fake-1" }
+func (h *fakeHandle) Status() ExecStatus { return ExecDone }
+func (h *fakeHandle) Cancel()            { h.cancelled = true }
+func (h *fakeHandle) Wait(ctx context.Context) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return h.res, nil
 }
 
 func (f *fakeBackend) Name() string { return "fake" }
-func (f *fakeBackend) Execute(c *Circuit, shots int) (*Result, error) {
-	f.lastShots = shots
+func (f *fakeBackend) Submit(ctx context.Context, c *Circuit, cfg ExecConfig) (Handle, error) {
+	f.lastCfg = cfg
+	f.lastCtx = ctx
 	f.ran = c
-	return &Result{Counts: map[uint64]int{0: shots}, Shots: shots}, nil
+	return &fakeHandle{res: &Result{Counts: map[uint64]int{0: cfg.Shots}, Shots: cfg.Shots}}, nil
 }
 
-func TestExecuteDispatch(t *testing.T) {
+func TestRunDispatch(t *testing.T) {
+	c := NewCircuit("c", 1, 1).X(0).Measure(0, 0)
+	if err := c.End(); err != nil {
+		t.Fatal(err)
+	}
+	b := &fakeBackend{}
+	res, err := Run(context.Background(), b, c, WithShots(100), WithPriority(3), WithTag("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.lastCfg.Shots != 100 || res.Shots != 100 {
+		t.Fatal("shot count not threaded")
+	}
+	if b.lastCfg.Priority != 3 || b.lastCfg.Tag != "t1" {
+		t.Fatalf("options not threaded: %+v", b.lastCfg)
+	}
+}
+
+func TestRunDefaultShots(t *testing.T) {
+	c := NewCircuit("c", 1, 1).X(0).Measure(0, 0)
+	_ = c.End()
+	b := &fakeBackend{}
+	if _, err := Run(context.Background(), b, c); err != nil {
+		t.Fatal(err)
+	}
+	if b.lastCfg.Shots != DefaultShots {
+		t.Fatalf("default shots = %d", b.lastCfg.Shots)
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	c := NewCircuit("c", 1, 1).X(0).Measure(0, 0)
+	_ = c.End()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, &fakeBackend{}, c); err == nil {
+		t.Fatal("cancelled context executed")
+	}
+}
+
+func TestExecuteShim(t *testing.T) {
 	c := NewCircuit("c", 1, 1).X(0).Measure(0, 0)
 	if err := c.End(); err != nil {
 		t.Fatal(err)
@@ -148,8 +206,33 @@ func TestExecuteDispatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if b.lastShots != 100 || res.Shots != 100 {
+	if b.lastCfg.Shots != 100 || res.Shots != 100 {
 		t.Fatal("shot count not threaded")
+	}
+}
+
+func TestNewCircuitFirstErrorWins(t *testing.T) {
+	// All three arguments are invalid; the name check comes first and must
+	// be the error reported, not overwritten by later checks.
+	c := NewCircuit("", 0, -1)
+	if c.Err() == nil || !strings.Contains(c.Err().Error(), "name") {
+		t.Fatalf("first error not reported: %v", c.Err())
+	}
+	// Name valid, qubits and classical invalid: qubit error wins.
+	c = NewCircuit("c", 0, -1)
+	if c.Err() == nil || !strings.Contains(c.Err().Error(), "qubit") {
+		t.Fatalf("first error not reported: %v", c.Err())
+	}
+}
+
+func TestExecStatusStrings(t *testing.T) {
+	for _, s := range []ExecStatus{ExecQueued, ExecRunning, ExecDone, ExecFailed, ExecCancelled} {
+		if strings.HasPrefix(s.String(), "ExecStatus(") {
+			t.Errorf("status %d unnamed", int(s))
+		}
+	}
+	if ExecQueued.Terminal() || ExecRunning.Terminal() || !ExecDone.Terminal() {
+		t.Fatal("terminal classification wrong")
 	}
 }
 

@@ -1,0 +1,258 @@
+package qrm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mqsspulse/internal/pulse"
+	"mqsspulse/internal/qdmi"
+)
+
+// blockingDevice is a mock device whose jobs run until released, so tests
+// can hold a worker busy deterministically. Its jobs are qdmi.AsyncJob, so
+// they support the RunningCanceller capability.
+type blockingDevice struct {
+	name string
+
+	mu      sync.Mutex
+	order   []string
+	nextJob int
+	release chan struct{} // jobs finish only after this closes
+}
+
+func newBlockingDevice(name string) *blockingDevice {
+	return &blockingDevice{name: name, release: make(chan struct{})}
+}
+
+func (d *blockingDevice) Name() string { return d.name }
+func (d *blockingDevice) QueryDeviceProperty(p qdmi.DeviceProperty) (any, error) {
+	if p == qdmi.DevicePropProgramFormats {
+		return []qdmi.ProgramFormat{qdmi.FormatQIRBase, qdmi.FormatQIRPulse}, nil
+	}
+	return nil, qdmi.ErrNotSupported
+}
+func (d *blockingDevice) NumSites() int { return 1 }
+func (d *blockingDevice) QuerySiteProperty(int, qdmi.SiteProperty) (any, error) {
+	return nil, qdmi.ErrNotSupported
+}
+func (d *blockingDevice) Operations() []string { return nil }
+func (d *blockingDevice) QueryOperationProperty(string, []int, qdmi.OperationProperty) (any, error) {
+	return nil, qdmi.ErrNotSupported
+}
+func (d *blockingDevice) Ports() []*pulse.Port { return nil }
+func (d *blockingDevice) QueryPortProperty(string, qdmi.PortProperty) (any, error) {
+	return nil, qdmi.ErrNotSupported
+}
+func (d *blockingDevice) DefaultPulse(string, []int) (*qdmi.PulseImpl, error) {
+	return nil, qdmi.ErrNotSupported
+}
+func (d *blockingDevice) SetPulseImpl(string, []int, *qdmi.PulseImpl) error {
+	return qdmi.ErrNotSupported
+}
+
+func (d *blockingDevice) SubmitJob(payload []byte, format qdmi.ProgramFormat, shots int) (qdmi.Job, error) {
+	d.mu.Lock()
+	d.nextJob++
+	id := fmt.Sprintf("%s-%d", d.name, d.nextJob)
+	d.order = append(d.order, string(payload))
+	d.mu.Unlock()
+	j := qdmi.NewAsyncJob(id)
+	go func() {
+		if !j.Start() {
+			return
+		}
+		<-d.release
+		j.Finish(&qdmi.Result{Counts: map[uint64]int{0: shots}, Shots: shots})
+	}()
+	return j, nil
+}
+
+func (d *blockingDevice) executed() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]string(nil), d.order...)
+}
+
+func blockingRig(t *testing.T) (*Scheduler, *blockingDevice) {
+	t.Helper()
+	drv := qdmi.NewDriver()
+	dev := newBlockingDevice("qpu")
+	if err := drv.RegisterDevice(dev); err != nil {
+		t.Fatal(err)
+	}
+	s := New(drv.OpenSession())
+	t.Cleanup(func() {
+		// Release any still-blocked jobs so Close can drain.
+		select {
+		case <-dev.release:
+		default:
+			close(dev.release)
+		}
+		s.Close()
+	})
+	return s, dev
+}
+
+func submit(t *testing.T, s *Scheduler, ctx context.Context, payload string) *Ticket {
+	t.Helper()
+	tk, err := s.SubmitCtx(ctx, Request{
+		Device: "qpu", Payload: []byte(payload), Format: qdmi.FormatQIRBase, Shots: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tk
+}
+
+// waitRunning blocks until the ticket has been dispatched to the device.
+func waitRunning(t *testing.T, tk *Ticket) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for tk.Status() != qdmi.JobRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("ticket never started running (status %v)", tk.Status())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCancelQueuedTicketPreventsDeviceExecution(t *testing.T) {
+	s, dev := blockingRig(t)
+	// First job occupies the single device worker...
+	first := submit(t, s, context.Background(), "first")
+	waitRunning(t, first)
+	// ...so the second sits in the queue when its context is cancelled.
+	ctx, cancel := context.WithCancel(context.Background())
+	second := submit(t, s, ctx, "second")
+	cancel()
+
+	// The cancelled ticket resolves promptly, while still queued.
+	res, err := second.Wait(context.Background())
+	if res != nil || !errors.Is(err, ErrCancelled) {
+		t.Fatalf("cancelled queued ticket: res=%v err=%v", res, err)
+	}
+	if st := second.Status(); st != qdmi.JobCancelled {
+		t.Fatalf("status = %v", st)
+	}
+
+	// Let the first job finish and the queue drain.
+	close(dev.release)
+	if _, err := first.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Give the worker a moment to pop (and skip) the cancelled item.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Cancelled == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// The device only ever saw the first payload.
+	if got := dev.executed(); len(got) != 1 || got[0] != "first" {
+		t.Fatalf("device executed %v, want [first]", got)
+	}
+	st := s.Stats()
+	if st.Cancelled != 1 || st.Completed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWaitReturnsWithinContextDeadline(t *testing.T) {
+	s, _ := blockingRig(t)
+	tk := submit(t, s, context.Background(), "blocked")
+	waitRunning(t, tk)
+
+	// The job is blocked on the device; a Wait bounded to 50ms must return
+	// ctx.Err() promptly without resolving the ticket.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := tk.Wait(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Wait returned after %v, want ≈50ms", elapsed)
+	}
+	if tk.Status() != qdmi.JobRunning {
+		t.Fatalf("abandoned wait changed ticket status to %v", tk.Status())
+	}
+}
+
+func TestCancelRunningTicketAbortsDeviceJob(t *testing.T) {
+	s, dev := blockingRig(t)
+	tk := submit(t, s, context.Background(), "inflight")
+	waitRunning(t, tk)
+
+	// Cancelling while the device job is in flight goes through the
+	// RunningCanceller capability: the ticket resolves as cancelled without
+	// waiting for the device to release.
+	tk.Cancel()
+	ctx, cancelWait := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelWait()
+	_, err := tk.Wait(ctx)
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v", err)
+	}
+	// The waiter unblocks as soon as the ticket resolves; the worker books
+	// the cancellation a moment later.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Cancelled != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if st := s.Stats(); st.Cancelled != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	_ = dev // released by cleanup
+}
+
+func TestSubmitCtxRejectsCancelledContext(t *testing.T) {
+	s, _ := blockingRig(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SubmitCtx(ctx, Request{
+		Device: "qpu", Payload: []byte("x"), Format: qdmi.FormatQIRBase, Shots: 1,
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTicketTagAndStatusLifecycle(t *testing.T) {
+	s, dev := blockingRig(t)
+	tk, err := s.SubmitCtx(context.Background(), Request{
+		Device: "qpu", Payload: []byte("tagged"), Format: qdmi.FormatQIRBase,
+		Shots: 1, Tag: "tenant-a",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Tag() != "tenant-a" {
+		t.Fatalf("tag = %q", tk.Tag())
+	}
+	waitRunning(t, tk)
+	close(dev.release)
+	if _, err := tk.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if tk.Status() != qdmi.JobDone || !tk.Done() {
+		t.Fatalf("status = %v done=%v", tk.Status(), tk.Done())
+	}
+}
+
+func TestCancelIsIdempotentAfterCompletion(t *testing.T) {
+	s, dev := blockingRig(t)
+	tk := submit(t, s, context.Background(), "job")
+	close(dev.release)
+	if _, err := tk.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	tk.Cancel() // must not disturb the completed ticket
+	if tk.Status() != qdmi.JobDone {
+		t.Fatalf("status after late cancel = %v", tk.Status())
+	}
+	if res, err := tk.Wait(context.Background()); err != nil || res == nil {
+		t.Fatalf("result lost after late cancel: %v %v", res, err)
+	}
+}

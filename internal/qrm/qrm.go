@@ -4,16 +4,27 @@
 // execution); a calibration hook lets the resource manager interleave
 // maintenance with user jobs — the paper's "resource-aware calibration
 // planning" (Section 2.1).
+//
+// Submission is context-aware: every ticket is bound to the context it was
+// submitted under. Cancelling that context (or calling Ticket.Cancel)
+// aborts queued work before it ever reaches a device and, where the device
+// job supports the qdmi.RunningCanceller capability, aborts in-flight
+// execution too.
 package qrm
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 
 	"mqsspulse/internal/qdmi"
 )
+
+// ErrCancelled is the sentinel wrapped into the error of a cancelled
+// ticket; it aliases qdmi.ErrCancelled so errors.Is works across layers.
+var ErrCancelled = qdmi.ErrCancelled
 
 // Request describes one job submission.
 type Request struct {
@@ -23,52 +34,126 @@ type Request struct {
 	Shots   int
 	// Priority orders dispatch: higher runs first; FIFO within a level.
 	Priority int
+	// Tag is an optional caller label carried through to the ticket
+	// (tracing, per-tenant accounting).
+	Tag string
 }
 
-// Ticket tracks a submitted request through the queue and device.
+// Ticket tracks a submitted request through the queue and device. It is the
+// scheduler's job handle: callers Wait on it with a context, poll Status,
+// or Cancel it.
 type Ticket struct {
 	id       int64
 	priority int
 	seq      int64 // FIFO tiebreaker
+	tag      string
+
+	// ctx is cancelled when the ticket is cancelled (explicitly or through
+	// the submit context) or reaches a terminal state; the dispatch worker
+	// waits on the device job under it.
+	ctx       context.Context
+	cancelCtx context.CancelFunc
 
 	mu     sync.Mutex
-	cond   *sync.Cond
-	done   bool
+	status qdmi.JobStatus
 	result *qdmi.Result
 	err    error
+	done   chan struct{} // closed when the ticket reaches a terminal state
 }
 
-func newTicket(id int64, prio int, seq int64) *Ticket {
-	t := &Ticket{id: id, priority: prio, seq: seq}
-	t.cond = sync.NewCond(&t.mu)
+func newTicket(ctx context.Context, id int64, prio int, seq int64, tag string) *Ticket {
+	tctx, tcancel := context.WithCancel(ctx)
+	t := &Ticket{
+		id: id, priority: prio, seq: seq, tag: tag,
+		ctx: tctx, cancelCtx: tcancel,
+		status: qdmi.JobQueued,
+		done:   make(chan struct{}),
+	}
+	// When the submit context (or an explicit Cancel) fires, resolve a
+	// still-queued ticket immediately so waiters unblock and the worker
+	// skips it. Running tickets are resolved by the worker.
+	context.AfterFunc(tctx, t.onCtxDone)
 	return t
 }
 
 // ID returns the scheduler-assigned job ID.
 func (t *Ticket) ID() int64 { return t.id }
 
-// Wait blocks until the job finishes and returns its result.
-func (t *Ticket) Wait() (*qdmi.Result, error) {
+// Tag returns the caller label given at submission.
+func (t *Ticket) Tag() string { return t.tag }
+
+// Status returns the ticket's lifecycle state without blocking.
+func (t *Ticket) Status() qdmi.JobStatus {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for !t.done {
-		t.cond.Wait()
+	return t.status
+}
+
+// Cancel requests cancellation: a queued ticket resolves immediately and
+// never reaches the device; a running ticket is aborted if the device job
+// supports it. Cancel is idempotent and safe after completion.
+func (t *Ticket) Cancel() { t.cancelCtx() }
+
+// Wait blocks until the ticket reaches a terminal state or ctx is
+// cancelled. A cancelled ctx abandons only this wait — the job keeps its
+// place in the queue — and Wait returns ctx.Err().
+func (t *Ticket) Wait(ctx context.Context) (*qdmi.Result, error) {
+	select {
+	case <-t.done:
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		return t.result, t.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
-	return t.result, t.err
 }
 
 // Done reports whether the job has finished without blocking.
-func (t *Ticket) Done() bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.done
+func (t *Ticket) Done() bool { return t.Status().Terminal() }
+
+// DoneCh returns a channel closed when the ticket reaches a terminal
+// state; use it to select over many tickets.
+func (t *Ticket) DoneCh() <-chan struct{} { return t.done }
+
+// onCtxDone resolves a still-queued ticket when its context fires.
+func (t *Ticket) onCtxDone() {
+	t.finish(nil, t.cancelErr(), qdmi.JobCancelled)
 }
 
-func (t *Ticket) finish(r *qdmi.Result, err error) {
+// cancelErr builds the cancellation error, attaching the context cause so
+// a blown deadline is distinguishable from an explicit cancel.
+func (t *Ticket) cancelErr() error {
+	if cause := context.Cause(t.ctx); cause != nil && !errors.Is(cause, context.Canceled) {
+		return fmt.Errorf("qrm: job %d: %w (%v)", t.id, ErrCancelled, cause)
+	}
+	return fmt.Errorf("qrm: job %d: %w", t.id, ErrCancelled)
+}
+
+// startRunning transitions queued → running; false means the ticket was
+// cancelled first and must not be dispatched.
+func (t *Ticket) startRunning() bool {
 	t.mu.Lock()
-	t.result, t.err, t.done = r, err, true
-	t.cond.Broadcast()
+	defer t.mu.Unlock()
+	if t.status != qdmi.JobQueued {
+		return false
+	}
+	t.status = qdmi.JobRunning
+	return true
+}
+
+// finish records the terminal state once; later calls are no-ops. It also
+// releases the ticket's context resources.
+func (t *Ticket) finish(r *qdmi.Result, err error, status qdmi.JobStatus) bool {
+	t.mu.Lock()
+	if t.status.Terminal() {
+		t.mu.Unlock()
+		return false
+	}
+	t.result, t.err, t.status = r, err, status
+	close(t.done)
 	t.mu.Unlock()
+	t.cancelCtx()
+	return true
 }
 
 // queued pairs a ticket with its request.
@@ -100,6 +185,7 @@ type Stats struct {
 	Submitted int64
 	Completed int64
 	Failed    int64
+	Cancelled int64
 	// MaintenanceRuns counts hook invocations that did work.
 	MaintenanceRuns int64
 }
@@ -143,13 +229,26 @@ func (s *Scheduler) Stats() Stats {
 	return s.stats
 }
 
-// Submit enqueues a request and returns its ticket.
+// Submit enqueues a request detached from any context.
+//
+// Deprecated: use SubmitCtx so cancellation and deadlines propagate into
+// the queue.
 func (s *Scheduler) Submit(req Request) (*Ticket, error) {
+	return s.SubmitCtx(context.Background(), req)
+}
+
+// SubmitCtx enqueues a request bound to ctx and returns its ticket.
+// Cancelling ctx cancels the ticket: queued work never dispatches, and
+// in-flight work is aborted where the device supports it.
+func (s *Scheduler) SubmitCtx(ctx context.Context, req Request) (*Ticket, error) {
 	if req.Shots <= 0 {
 		return nil, errors.New("qrm: non-positive shots")
 	}
 	if len(req.Payload) == 0 {
 		return nil, errors.New("qrm: empty payload")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("qrm: submit: %w", err)
 	}
 	// Resolve the device eagerly so unknown names fail at submit time.
 	if _, err := s.session.Device(req.Device); err != nil {
@@ -162,7 +261,7 @@ func (s *Scheduler) Submit(req Request) (*Ticket, error) {
 	}
 	s.nextID++
 	s.nextSeq++
-	t := newTicket(s.nextID, req.Priority, s.nextSeq)
+	t := newTicket(ctx, s.nextID, req.Priority, s.nextSeq, req.Tag)
 	q, ok := s.queues[req.Device]
 	if !ok {
 		q = &deviceQueue{name: req.Device, wake: make(chan struct{}, 1), stopped: make(chan struct{})}
@@ -201,6 +300,12 @@ func (s *Scheduler) worker(q *deviceQueue) {
 			<-q.wake
 			continue
 		}
+		if !item.ticket.startRunning() {
+			// Cancelled while queued: the ticket already resolved itself;
+			// the device never sees the job.
+			s.countCancelled()
+			continue
+		}
 		dev, err := s.session.Device(item.req.Device)
 		if err != nil {
 			s.fail(item, err)
@@ -215,21 +320,54 @@ func (s *Scheduler) worker(q *deviceQueue) {
 			s.stats.MaintenanceRuns++
 			s.mu.Unlock()
 		}
+		// A cancel that landed during maintenance still prevents dispatch.
+		if item.ticket.ctx.Err() != nil {
+			s.cancelled(item)
+			continue
+		}
 		job, err := dev.SubmitJob(item.req.Payload, item.req.Format, item.req.Shots)
 		if err != nil {
 			s.fail(item, err)
 			continue
 		}
-		job.Wait()
-		res, err := job.Result()
-		if err != nil {
-			s.fail(item, err)
-			continue
+		st := job.Wait(item.ticket.ctx)
+		if !st.Terminal() {
+			// The ticket was cancelled while the device job was in flight.
+			// Abort it where the device supports aborting running work;
+			// otherwise fall back to the queued-only cancel.
+			if rc, ok := job.(qdmi.RunningCanceller); ok {
+				_ = rc.CancelRunning()
+			} else {
+				_ = job.Cancel()
+			}
+			st = job.Status()
+			if !st.Terminal() {
+				// The device cannot abort: resolve the ticket as cancelled
+				// and let the orphaned job finish unobserved.
+				s.cancelled(item)
+				continue
+			}
 		}
-		s.mu.Lock()
-		s.stats.Completed++
-		s.mu.Unlock()
-		item.ticket.finish(res, nil)
+		switch st {
+		case qdmi.JobCancelled:
+			s.cancelled(item)
+		case qdmi.JobDone:
+			res, err := job.Result()
+			if err != nil {
+				s.fail(item, err)
+				continue
+			}
+			s.mu.Lock()
+			s.stats.Completed++
+			s.mu.Unlock()
+			item.ticket.finish(res, nil, qdmi.JobDone)
+		default: // JobFailed
+			_, err := job.Result()
+			if err == nil {
+				err = fmt.Errorf("qrm: job %d failed", item.ticket.id)
+			}
+			s.fail(item, err)
+		}
 	}
 }
 
@@ -237,7 +375,18 @@ func (s *Scheduler) fail(item *queued, err error) {
 	s.mu.Lock()
 	s.stats.Failed++
 	s.mu.Unlock()
-	item.ticket.finish(nil, err)
+	item.ticket.finish(nil, err, qdmi.JobFailed)
+}
+
+func (s *Scheduler) cancelled(item *queued) {
+	s.countCancelled()
+	item.ticket.finish(nil, item.ticket.cancelErr(), qdmi.JobCancelled)
+}
+
+func (s *Scheduler) countCancelled() {
+	s.mu.Lock()
+	s.stats.Cancelled++
+	s.mu.Unlock()
 }
 
 // Close stops accepting jobs and shuts the workers down after their queues

@@ -1,6 +1,7 @@
 package qrm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -90,7 +91,7 @@ func TestSubmitAndWait(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := tk.Wait()
+	res, err := tk.Wait(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestFailurePropagation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tk.Wait(); err == nil {
+	if _, err := tk.Wait(context.Background()); err == nil {
 		t.Fatal("failure not propagated")
 	}
 	if s.Stats().Failed != 1 {
@@ -150,7 +151,7 @@ func TestManyJobsAllComplete(t *testing.T) {
 		tickets[i] = tk
 	}
 	for i, tk := range tickets {
-		if _, err := tk.Wait(); err != nil {
+		if _, err := tk.Wait(context.Background()); err != nil {
 			t.Fatalf("job %d: %v", i, err)
 		}
 	}
@@ -178,7 +179,7 @@ func TestPriorityOrdering(t *testing.T) {
 	hi, _ := s.Submit(Request{Device: "qpu", Payload: []byte("high"), Format: qdmi.FormatQIRBase, Shots: 1, Priority: 10})
 	tickets = append(tickets, hi, first)
 	for _, tk := range tickets {
-		if _, err := tk.Wait(); err != nil {
+		if _, err := tk.Wait(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -214,7 +215,7 @@ func TestConcurrentSubmitters(t *testing.T) {
 					failures.Add(1)
 					return
 				}
-				if _, err := tk.Wait(); err != nil {
+				if _, err := tk.Wait(context.Background()); err != nil {
 					failures.Add(1)
 				}
 			}
@@ -238,7 +239,7 @@ func TestMaintenanceHookRuns(t *testing.T) {
 		return nil
 	})
 	tk, _ := s.Submit(Request{Device: "qpu", Payload: []byte("j"), Format: qdmi.FormatQIRBase, Shots: 1})
-	if _, err := tk.Wait(); err != nil {
+	if _, err := tk.Wait(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if calls.Load() != 1 {
@@ -254,7 +255,7 @@ func TestMaintenanceHookFailureFailsJob(t *testing.T) {
 	defer s.Close()
 	s.SetMaintenanceHook(func(qdmi.Device) error { return errors.New("cal broken") })
 	tk, _ := s.Submit(Request{Device: "qpu", Payload: []byte("j"), Format: qdmi.FormatQIRBase, Shots: 1})
-	if _, err := tk.Wait(); err == nil {
+	if _, err := tk.Wait(context.Background()); err == nil {
 		t.Fatal("maintenance failure not propagated")
 	}
 }
@@ -262,7 +263,7 @@ func TestMaintenanceHookFailureFailsJob(t *testing.T) {
 func TestCloseRejectsNewWork(t *testing.T) {
 	s, _ := rig(t)
 	tk, _ := s.Submit(Request{Device: "qpu", Payload: []byte("j"), Format: qdmi.FormatQIRBase, Shots: 1})
-	if _, err := tk.Wait(); err != nil {
+	if _, err := tk.Wait(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -294,7 +295,7 @@ func TestTwoDevicesRunIndependently(t *testing.T) {
 		tickets = append(tickets, tk)
 	}
 	for _, tk := range tickets {
-		if _, err := tk.Wait(); err != nil {
+		if _, err := tk.Wait(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package simq
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -10,6 +11,10 @@ import (
 	"mqsspulse/internal/linalg"
 	"mqsspulse/internal/pulse"
 )
+
+// ErrInterrupted is returned by Run when ExecOptions.Interrupted reports
+// true mid-integration (the job was cancelled).
+var ErrInterrupted = errors.New("simq: execution interrupted")
 
 // ExecOptions configures schedule execution.
 type ExecOptions struct {
@@ -29,6 +34,10 @@ type ExecOptions struct {
 	// ReadoutP01 is the probability a true 0 reads as 1; ReadoutP10 the
 	// probability a true 1 reads as 0 (applied per measured bit).
 	ReadoutP01, ReadoutP10 float64
+	// Interrupted, when non-nil, is polled between integration segments;
+	// once it reports true the run aborts with ErrInterrupted. Devices wire
+	// it to their job-cancellation state.
+	Interrupted func() bool
 }
 
 // ExecResult is the outcome of executing a scheduled pulse program.
@@ -250,6 +259,9 @@ func (e *Executor) evolve(st *State, rho *Density, plays []playEvent, makespan i
 	driftIsZero := e.Model.Drift.MaxAbs() == 0
 
 	for si := 0; si+1 < len(ticks); si++ {
+		if opts.Interrupted != nil && opts.Interrupted() {
+			return ErrInterrupted
+		}
 		t0, t1 := ticks[si], ticks[si+1]
 		if t0 == t1 {
 			continue

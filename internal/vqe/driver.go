@@ -1,6 +1,7 @@
 package vqe
 
 import (
+	"context"
 	"fmt"
 
 	"mqsspulse/internal/optctl"
@@ -40,7 +41,7 @@ func (e *Estimator) Energy(h *Hamiltonian, a Ansatz, params []float64) (float64,
 		if err != nil {
 			return 0, 0, err
 		}
-		if st := job.Wait(); st != qdmi.JobDone {
+		if st := job.Wait(context.Background()); st != qdmi.JobDone {
 			_, rerr := job.Result()
 			return 0, 0, fmt.Errorf("vqe: job %s %v: %v", job.ID(), st, rerr)
 		}
