@@ -38,6 +38,7 @@ import (
 	"mqsspulse/internal/qir"
 	"mqsspulse/internal/qpi"
 	"mqsspulse/internal/qrm"
+	"mqsspulse/internal/readout"
 	"mqsspulse/internal/vqe"
 	"mqsspulse/internal/waveform"
 )
@@ -94,6 +95,83 @@ func WithTimeout(d time.Duration) ExecOption { return qpi.WithTimeout(d) }
 // WithoutCache bypasses compilation caches for this submission.
 func WithoutCache() ExecOption { return qpi.WithoutCache() }
 
+// Acquisition and readout (measurement levels, discriminators, error
+// mitigation).
+type (
+	// MeasLevel selects raw/kerneled/discriminated readout records.
+	MeasLevel = readout.MeasLevel
+	// MeasReturn selects per-shot or shot-averaged records.
+	MeasReturn = readout.MeasReturn
+	// IQ is one point in the in-phase/quadrature plane.
+	IQ = readout.IQ
+	// ReadoutKernel integrates a raw capture trace into an IQ point.
+	ReadoutKernel = readout.Kernel
+	// Discriminator classifies an IQ point into a bit.
+	Discriminator = readout.Discriminator
+	// ReadoutConfusion is a per-qubit 2×2 assignment matrix.
+	ReadoutConfusion = readout.Confusion
+	// ReadoutMitigator undoes per-qubit assignment errors in counts.
+	ReadoutMitigator = readout.Mitigator
+	// ReadoutCalibResult reports a readout calibration.
+	ReadoutCalibResult = calib.ReadoutCalibResult
+)
+
+// Measurement levels and return modes.
+const (
+	MeasDiscriminated = readout.LevelDiscriminated
+	MeasKerneled      = readout.LevelKerneled
+	MeasRaw           = readout.LevelRaw
+	MeasReturnSingle  = readout.ReturnSingle
+	MeasReturnAverage = readout.ReturnAverage
+)
+
+// WithMeasLevel selects the measurement level of the returned data.
+func WithMeasLevel(l MeasLevel) ExecOption { return qpi.WithMeasLevel(l) }
+
+// WithMeasReturn selects per-shot or shot-averaged acquisition records.
+func WithMeasReturn(r MeasReturn) ExecOption { return qpi.WithMeasReturn(r) }
+
+// TrainLinearDiscriminator fits a Fisher/LDA discriminator from labeled
+// prep-0/prep-1 IQ shots.
+func TrainLinearDiscriminator(zeros, ones []IQ) (Discriminator, error) {
+	return readout.TrainLinear(zeros, ones)
+}
+
+// TrainCentroidDiscriminator fits a nearest-mean discriminator.
+func TrainCentroidDiscriminator(zeros, ones []IQ) (Discriminator, error) {
+	return readout.TrainCentroid(zeros, ones)
+}
+
+// EncodeDiscriminator serializes a trained model to JSON.
+func EncodeDiscriminator(d Discriminator) ([]byte, error) {
+	return readout.EncodeDiscriminator(d)
+}
+
+// DecodeDiscriminator is the inverse of EncodeDiscriminator.
+func DecodeDiscriminator(data []byte) (Discriminator, error) {
+	return readout.DecodeDiscriminator(data)
+}
+
+// NewReadoutMitigator builds a confusion-matrix mitigator; bits[i] is the
+// classical-bit position matrix mats[i] corrects.
+func NewReadoutMitigator(bits []int, mats []ReadoutConfusion) (*ReadoutMitigator, error) {
+	return readout.NewMitigator(bits, mats)
+}
+
+// ReadoutCalibrate trains a discriminator from prep-0/prep-1 experiments
+// and writes the measured assignment fidelity back into the device's
+// calibration table.
+func ReadoutCalibrate(dev *SimDevice, site, shots int) (*ReadoutCalibResult, error) {
+	return calib.ReadoutCalibrate(dev, site, shots)
+}
+
+// MeasureReadoutMitigator measures per-site assignment matrices through
+// prep experiments and builds the mitigator for kernels measuring
+// sites[i] into classical bit i.
+func MeasureReadoutMitigator(dev Device, sites []int, shots int) (*ReadoutMitigator, error) {
+	return calib.ReadoutMitigator(dev, sites, shots)
+}
+
 // NewCircuit begins a kernel (the paper's qCircuitBegin).
 func NewCircuit(name string, qubits, classical int) *Circuit {
 	return qpi.NewCircuit(name, qubits, classical)
@@ -120,6 +198,13 @@ func Start(ctx context.Context, b Backend, c *Circuit, opts ...ExecOption) (Hand
 // layer and accepts functional options.
 func Execute(b Backend, c *Circuit, shots int) (*Result, error) { return qpi.Execute(b, c, shots) }
 
+// Port kinds (used to locate drive/readout channels by inspection).
+const (
+	PortDrive   = pulse.PortDrive
+	PortCoupler = pulse.PortCoupler
+	PortReadout = pulse.PortReadout
+)
+
 // Pulse abstractions (paper Section 4).
 type (
 	// Port is a hardware I/O channel.
@@ -145,6 +230,10 @@ type (
 	SimDevice = devices.SimDevice
 	// DeviceConfig assembles a custom simulated device.
 	DeviceConfig = devices.Config
+	// SiteConfig describes one qubit site of a custom device.
+	SiteConfig = devices.SiteConfig
+	// CouplingConfig describes a coupler between adjacent sites.
+	CouplingConfig = devices.CouplingConfig
 	// PulseImpl is a calibrated pulse implementation of an operation.
 	PulseImpl = qdmi.PulseImpl
 	// PulseStep is one element of a PulseImpl.

@@ -31,6 +31,7 @@ import (
 	"mqsspulse/internal/qdmi"
 	"mqsspulse/internal/qpi"
 	"mqsspulse/internal/qrm"
+	"mqsspulse/internal/readout"
 )
 
 // Client routes finished kernels through compile → schedule → execute.
@@ -172,6 +173,20 @@ type SubmitOptions struct {
 	Tag string
 	// BypassCache skips the lowering cache for this submission.
 	BypassCache bool
+	// MeasLevel selects the measurement level (discriminated counts by
+	// default; kerneled/raw return IQ acquisition records).
+	MeasLevel readout.MeasLevel
+	// MeasReturn selects per-shot or shot-averaged acquisition records.
+	MeasReturn readout.MeasReturn
+}
+
+// resultFromQDMI converts a device-layer result into the QPI form,
+// carrying the acquisition records through unchanged.
+func resultFromQDMI(res *qdmi.Result) *qpi.Result {
+	return &qpi.Result{
+		Counts: res.Counts, Shots: res.Shots, DurationSeconds: res.DurationSeconds,
+		MeasLevel: res.MeasLevel, Bits: res.Bits, IQ: res.IQ, Raw: res.Raw,
+	}
 }
 
 // SubmitCtx compiles and enqueues a kernel under ctx, returning the QRM
@@ -198,6 +213,7 @@ func (c *Client) SubmitCtx(ctx context.Context, k *qpi.Circuit, device string, o
 	return c.qrm.SubmitCtx(ctx, qrm.Request{
 		Device: device, Payload: payload, Format: format,
 		Shots: opts.Shots, Priority: opts.Priority, Tag: opts.Tag,
+		MeasLevel: opts.MeasLevel, MeasReturn: opts.MeasReturn,
 	})
 }
 
@@ -212,7 +228,7 @@ func (c *Client) RunCtx(ctx context.Context, k *qpi.Circuit, device string, opts
 	if err != nil {
 		return nil, err
 	}
-	return &qpi.Result{Counts: res.Counts, Shots: res.Shots, DurationSeconds: res.DurationSeconds}, nil
+	return resultFromQDMI(res), nil
 }
 
 // Submit compiles and enqueues a kernel detached from any context.
@@ -288,7 +304,7 @@ func (c *Client) RunBatch(ctx context.Context, kernels []*qpi.Circuit, device st
 			out[i].Err = err
 			continue
 		}
-		out[i].Result = &qpi.Result{Counts: res.Counts, Shots: res.Shots, DurationSeconds: res.DurationSeconds}
+		out[i].Result = resultFromQDMI(res)
 	}
 	return out, nil
 }
@@ -312,6 +328,8 @@ func (a *NativeAdapter) Submit(ctx context.Context, k *qpi.Circuit, cfg qpi.Exec
 		Priority:    cfg.Priority,
 		Tag:         cfg.Tag,
 		BypassCache: cfg.BypassCache,
+		MeasLevel:   cfg.MeasLevel,
+		MeasReturn:  cfg.MeasReturn,
 	}
 	var cancel context.CancelFunc
 	if !cfg.Deadline.IsZero() {
@@ -374,5 +392,5 @@ func (h *ticketHandle) Wait(ctx context.Context) (*qpi.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &qpi.Result{Counts: res.Counts, Shots: res.Shots, DurationSeconds: res.DurationSeconds}, nil
+	return resultFromQDMI(res), nil
 }

@@ -13,6 +13,7 @@ import (
 	"mqsspulse/internal/qdmi"
 	"mqsspulse/internal/qpi"
 	"mqsspulse/internal/qrm"
+	"mqsspulse/internal/readout"
 )
 
 // The remote protocol is one JSON object per line in each direction —
@@ -30,6 +31,11 @@ type remoteRequest struct {
 	Tag      string `json:"tag,omitempty"`
 	// TimeoutMs bounds the job server-side; 0 means no client deadline.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// MeasLevel/MeasReturn select the acquisition data shape
+	// ("discriminated"/"kerneled"/"raw", "single"/"avg"); empty means
+	// discriminated counts (legacy clients).
+	MeasLevel  string `json:"meas_level,omitempty"`
+	MeasReturn string `json:"meas_return,omitempty"`
 }
 
 // remoteResponse is the wire form of a completed job.
@@ -39,6 +45,14 @@ type remoteResponse struct {
 	Shots           int               `json:"shots"`
 	DurationSeconds float64           `json:"duration_seconds"`
 	DeviceInfo      map[string]string `json:"device_info,omitempty"`
+	// MeasLevel echoes the level of the returned data.
+	MeasLevel string `json:"meas_level,omitempty"`
+	// Bits lists the captured classical-bit positions (IQ column order).
+	Bits []int `json:"bits,omitempty"`
+	// IQ is [shot][capture] → [i, q].
+	IQ [][][2]float64 `json:"iq,omitempty"`
+	// Raw is [shot][capture][sample] → [i, q].
+	Raw [][][][2]float64 `json:"raw,omitempty"`
 }
 
 // ServerOption tunes a Server.
@@ -184,13 +198,23 @@ func (s *Server) handle(req *remoteRequest) remoteResponse {
 			format = qdmi.FormatQIRPulse
 		}
 	}
+	level, err := readout.ParseMeasLevel(req.MeasLevel)
+	if err != nil {
+		return remoteResponse{Error: err.Error()}
+	}
+	ret, err := readout.ParseMeasReturn(req.MeasReturn)
+	if err != nil {
+		return remoteResponse{Error: err.Error()}
+	}
 	tk, err := s.client.qrm.SubmitCtx(ctx, qrm.Request{
-		Device:   req.Device,
-		Payload:  []byte(req.Payload),
-		Format:   format,
-		Shots:    req.Shots,
-		Priority: req.Priority,
-		Tag:      req.Tag,
+		Device:     req.Device,
+		Payload:    []byte(req.Payload),
+		Format:     format,
+		Shots:      req.Shots,
+		Priority:   req.Priority,
+		Tag:        req.Tag,
+		MeasLevel:  level,
+		MeasReturn: ret,
 	})
 	if err != nil {
 		return remoteResponse{Error: err.Error()}
@@ -203,7 +227,34 @@ func (s *Server) handle(req *remoteRequest) remoteResponse {
 	for mask, n := range res.Counts {
 		counts[fmt.Sprintf("%d", mask)] = n
 	}
-	return remoteResponse{Counts: counts, Shots: res.Shots, DurationSeconds: res.DurationSeconds}
+	resp := remoteResponse{Counts: counts, Shots: res.Shots, DurationSeconds: res.DurationSeconds}
+	if res.MeasLevel != readout.LevelDiscriminated {
+		resp.MeasLevel = res.MeasLevel.String()
+		resp.Bits = res.Bits
+		resp.IQ = make([][][2]float64, len(res.IQ))
+		for k, row := range res.IQ {
+			pts := make([][2]float64, len(row))
+			for i, p := range row {
+				pts[i] = [2]float64{p.I, p.Q}
+			}
+			resp.IQ[k] = pts
+		}
+		if res.MeasLevel == readout.LevelRaw {
+			resp.Raw = make([][][][2]float64, len(res.Raw))
+			for k, shot := range res.Raw {
+				traces := make([][][2]float64, len(shot))
+				for i, tr := range shot {
+					enc := make([][2]float64, len(tr))
+					for j, v := range tr {
+						enc[j] = [2]float64{real(v), imag(v)}
+					}
+					traces[i] = enc
+				}
+				resp.Raw[k] = traces
+			}
+		}
+	}
+	return resp
 }
 
 // RemoteOption tunes a RemoteAdapter.
@@ -280,6 +331,10 @@ func (r *RemoteAdapter) SubmitPayloadCtx(ctx context.Context, device string, pay
 		Device: device, Format: string(format), Payload: string(payload),
 		Shots: opts.Shots, Priority: opts.Priority, Tag: opts.Tag,
 	}
+	if opts.MeasLevel != readout.LevelDiscriminated {
+		req.MeasLevel = opts.MeasLevel.String()
+		req.MeasReturn = opts.MeasReturn.String()
+	}
 	if dl, ok := ctx.Deadline(); ok {
 		remaining := time.Until(dl)
 		if remaining <= 0 {
@@ -337,7 +392,50 @@ func (r *RemoteAdapter) SubmitPayloadCtx(ctx context.Context, device string, pay
 		}
 		counts[mask] = v
 	}
-	return &qpi.Result{Counts: counts, Shots: resp.Shots, DurationSeconds: resp.DurationSeconds}, nil
+	out := &qpi.Result{Counts: counts, Shots: resp.Shots, DurationSeconds: resp.DurationSeconds}
+	if opts.MeasLevel != readout.LevelDiscriminated && resp.MeasLevel == "" {
+		// An older server ignores the meas_level request field and returns
+		// plain counts; fail loudly rather than silently downgrading.
+		return nil, fmt.Errorf("client: remote: %w: server returned no %s measurement data",
+			qdmi.ErrNotSupported, opts.MeasLevel)
+	}
+	if resp.MeasLevel != "" {
+		level, err := readout.ParseMeasLevel(resp.MeasLevel)
+		if err != nil {
+			return nil, fmt.Errorf("client: remote: %w", err)
+		}
+		if opts.MeasLevel != readout.LevelDiscriminated && level != opts.MeasLevel {
+			// A server downgrading raw → kerneled (or similar) would leave
+			// the promised fields nil; fail loudly instead.
+			return nil, fmt.Errorf("client: remote: %w: requested %s data, server returned %s",
+				qdmi.ErrNotSupported, opts.MeasLevel, level)
+		}
+		out.MeasLevel = level
+		out.Bits = resp.Bits
+		out.IQ = make([][]readout.IQ, len(resp.IQ))
+		for k, row := range resp.IQ {
+			pts := make([]readout.IQ, len(row))
+			for i, p := range row {
+				pts[i] = readout.IQ{I: p[0], Q: p[1]}
+			}
+			out.IQ[k] = pts
+		}
+		if len(resp.Raw) > 0 {
+			out.Raw = make([][][]complex128, len(resp.Raw))
+			for k, shot := range resp.Raw {
+				traces := make([][]complex128, len(shot))
+				for i, tr := range shot {
+					dec := make([]complex128, len(tr))
+					for j, v := range tr {
+						dec[j] = complex(v[0], v[1])
+					}
+					traces[i] = dec
+				}
+				out.Raw[k] = traces
+			}
+		}
+	}
+	return out, nil
 }
 
 // wireError maps an I/O error on the shared connection. The line-oriented

@@ -1,0 +1,84 @@
+package compiler
+
+import (
+	"testing"
+
+	"mqsspulse/internal/devices"
+	"mqsspulse/internal/mlir"
+	"mqsspulse/internal/qir"
+	"mqsspulse/internal/qpi"
+)
+
+// TestAcquireLowersThroughFullPipeline checks the Acquire primitive's
+// path: QPI op → MLIR pulse.capture → QIR capture intrinsic with the
+// program's explicit window, on the program's named port.
+func TestAcquireLowersThroughFullPipeline(t *testing.T) {
+	dev, err := devices.Superconducting("acq-comp", 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ro string
+	for _, p := range dev.Ports() {
+		if len(p.Sites) == 1 && p.Sites[0] == 0 && p.ID != "" && p.Kind.String() == "readout" {
+			ro = p.ID
+		}
+	}
+	if ro == "" {
+		t.Fatal("no readout port")
+	}
+	const window = 320
+	c := qpi.NewCircuit("acq", 1, 1)
+	c.X(0).Barrier().Acquire(ro, 0, window)
+	if err := c.End(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Frontend: the capture op carries the explicit window on the bound
+	// port's frame.
+	m, err := Frontend(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := m.Sequences[0]
+	var cap *mlir.CaptureOp
+	for _, op := range seq.Ops {
+		if co, ok := op.(*mlir.CaptureOp); ok {
+			cap = co
+		}
+	}
+	if cap == nil || cap.Samples != window {
+		t.Fatalf("frontend capture op: %+v", cap)
+	}
+	if len(seq.Results) != 1 || seq.Results[0] != mlir.TypeI1 {
+		t.Fatalf("sequence results: %v", seq.Results)
+	}
+
+	// Full pipeline: the QIR payload calls the capture intrinsic with the
+	// same window, and the port table names the program's port.
+	res, err := Compile(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QIR.Profile != qir.ProfilePulse {
+		t.Fatalf("profile %q", res.QIR.Profile)
+	}
+	var captured bool
+	for _, call := range res.QIR.Body {
+		if call.Callee != qir.IntrCapture {
+			continue
+		}
+		captured = true
+		if call.Args[2].I != window {
+			t.Fatalf("capture window %d, want %d", call.Args[2].I, window)
+		}
+		if port := res.QIR.PortNames[call.Args[0].I]; port != ro {
+			t.Fatalf("capture on port %q, want %q", port, ro)
+		}
+	}
+	if !captured {
+		t.Fatal("no capture intrinsic in payload")
+	}
+	if res.QIR.NumResults != 1 {
+		t.Fatalf("num results %d", res.QIR.NumResults)
+	}
+}

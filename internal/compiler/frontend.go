@@ -112,7 +112,7 @@ func Frontend(c *qpi.Circuit, dev qdmi.Device) (*mlir.Module, error) {
 				}
 				plan.add(port)
 			}
-		case qpi.OpPlayWaveform, qpi.OpFrameChange, qpi.OpDelay:
+		case qpi.OpPlayWaveform, qpi.OpFrameChange, qpi.OpDelay, qpi.OpAcquire:
 			if op.Port != "" {
 				plan.add(op.Port)
 			}
@@ -196,6 +196,14 @@ func Frontend(c *qpi.Circuit, dev qdmi.Device) (*mlir.Module, error) {
 			name := fmt.Sprintf("m%d", op.Cbit)
 			seq.Ops = append(seq.Ops, &mlir.CaptureOp{
 				Result: name, Frame: plan.frame(rp), Samples: topo.readoutWindow})
+			captureNames = append(captureNames, name)
+			seq.Results = append(seq.Results, mlir.TypeI1)
+		case qpi.OpAcquire:
+			// Explicit acquisition window: the program controls its own
+			// capture timing, so no implicit barrier is inserted.
+			name := fmt.Sprintf("m%d", op.Cbit)
+			seq.Ops = append(seq.Ops, &mlir.CaptureOp{
+				Result: name, Frame: plan.frame(op.Port), Samples: op.WindowSamples})
 			captureNames = append(captureNames, name)
 			seq.Results = append(seq.Results, mlir.TypeI1)
 		default:

@@ -25,6 +25,9 @@ type SiteConfig struct {
 	// T1Seconds and T2Seconds are the relaxation and coherence times
 	// (0 disables the channel).
 	T1Seconds, T2Seconds float64
+	// ReadoutFidelity is this site's single-shot assignment fidelity, in
+	// [0.5, 1]; 0 falls back to the device-wide Config.ReadoutFidelity.
+	ReadoutFidelity float64
 }
 
 // CouplingKind selects the two-site interaction a coupler port drives.
@@ -84,7 +87,8 @@ type Config struct {
 	GateSamples int
 	// ReadoutSamples is the capture window length.
 	ReadoutSamples int64
-	// ReadoutFidelity is the per-shot assignment fidelity (uniform).
+	// ReadoutFidelity is the per-shot assignment fidelity, used for every
+	// site whose SiteConfig does not set its own.
 	ReadoutFidelity float64
 	// DragBeta is the DRAG coefficient used in calibrated X pulses
 	// (0 = plain Gaussian).

@@ -9,6 +9,7 @@ import (
 	"mqsspulse/internal/pulse"
 	"mqsspulse/internal/qdmi"
 	"mqsspulse/internal/qir"
+	"mqsspulse/internal/readout"
 	"mqsspulse/internal/simq"
 	"mqsspulse/internal/waveform"
 )
@@ -278,13 +279,25 @@ func (d *SimDevice) trueModel() (*simq.SystemModel, error) {
 // SubmitJob implements qdmi.Device. Payloads are QIR modules (pulse or base
 // profile); execution happens asynchronously on the simulated hardware.
 func (d *SimDevice) SubmitJob(payload []byte, format qdmi.ProgramFormat, shots int) (qdmi.Job, error) {
+	return d.SubmitJobOpts(payload, format, qdmi.JobOptions{Shots: shots})
+}
+
+// SubmitJobOpts implements the qdmi.AcquisitionSubmitter capability:
+// submission with acquisition options (measurement level, return mode).
+func (d *SimDevice) SubmitJobOpts(payload []byte, format qdmi.ProgramFormat, opts qdmi.JobOptions) (qdmi.Job, error) {
 	switch format {
 	case qdmi.FormatQIRBase, qdmi.FormatQIRPulse:
 	default:
 		return nil, fmt.Errorf("%w: format %q", qdmi.ErrNotSupported, format)
 	}
+	shots := opts.Shots
 	if shots <= 0 || shots > d.cfg.MaxShots {
 		return nil, fmt.Errorf("%w: shots %d outside (0, %d]", qdmi.ErrInvalidArgument, shots, d.cfg.MaxShots)
+	}
+	switch opts.MeasLevel {
+	case readout.LevelDiscriminated, readout.LevelKerneled, readout.LevelRaw:
+	default:
+		return nil, fmt.Errorf("%w: measurement level %v", qdmi.ErrInvalidArgument, opts.MeasLevel)
 	}
 	mod, err := qir.ParseModule(string(payload))
 	if err != nil {
@@ -304,8 +317,26 @@ func (d *SimDevice) SubmitJob(payload []byte, format qdmi.ProgramFormat, shots i
 	d.mu.Unlock()
 
 	job := qdmi.NewAsyncJob(id)
-	go d.runJob(job, mod, binding, shots, seed)
+	go d.runJob(job, mod, binding, opts, seed)
 	return job, nil
+}
+
+// readoutModel builds the per-site IQ synthesis model from the device's
+// true physics (drifting fidelity is not modeled; the believed calibration
+// table plays no role here — readout errors are physical).
+func (d *SimDevice) readoutModel(opts qdmi.JobOptions) *simq.ReadoutModel {
+	m := &simq.ReadoutModel{
+		Level:  opts.MeasLevel,
+		Return: opts.MeasReturn,
+		Sites:  make(map[int]simq.ReadoutSite, len(d.cfg.Sites)),
+	}
+	for i, s := range d.cfg.Sites {
+		m.Sites[i] = simq.ReadoutSite{
+			Fidelity:  d.trueReadoutFidelity(i),
+			T1Seconds: s.T1Seconds,
+		}
+	}
+	return m
 }
 
 // runJob executes a payload on the simulated hardware. SimDevice jobs
@@ -313,7 +344,7 @@ func (d *SimDevice) SubmitJob(payload []byte, format qdmi.ProgramFormat, shots i
 // job.Aborted between stages and the dynamics engine polls it between
 // integration segments, so a CancelRunning lands promptly and the result of
 // an aborted job is discarded.
-func (d *SimDevice) runJob(job *qdmi.AsyncJob, mod *qir.Module, binding *qir.DeviceBinding, shots int, seed int64) {
+func (d *SimDevice) runJob(job *qdmi.AsyncJob, mod *qir.Module, binding *qir.DeviceBinding, opts qdmi.JobOptions, seed int64) {
 	if !job.Start() {
 		return
 	}
@@ -349,14 +380,19 @@ func (d *SimDevice) runJob(job *qdmi.AsyncJob, mod *qir.Module, binding *qir.Dev
 		job.Fail(err)
 		return
 	}
-	pErr := 1 - d.cfg.ReadoutFidelity
-	res, err := simq.NewExecutor(model).Run(sp, simq.ExecOptions{
-		Shots:       shots,
-		Seed:        seed,
-		ReadoutP01:  pErr,
-		ReadoutP10:  pErr,
+	execOpts := simq.ExecOptions{
+		Shots: opts.Shots,
+		Seed:  seed,
+		SiteError: func(site int) (float64, float64) {
+			p := 1 - d.trueReadoutFidelity(site)
+			return p, p
+		},
 		Interrupted: job.Aborted,
-	})
+	}
+	if opts.MeasLevel != readout.LevelDiscriminated {
+		execOpts.Readout = d.readoutModel(opts)
+	}
+	res, err := simq.NewExecutor(model).Run(sp, execOpts)
 	if err != nil {
 		if !errors.Is(err, simq.ErrInterrupted) {
 			job.Fail(err)
@@ -367,6 +403,10 @@ func (d *SimDevice) runJob(job *qdmi.AsyncJob, mod *qir.Module, binding *qir.Dev
 		Counts:          res.Counts,
 		Shots:           res.Shots,
 		DurationSeconds: res.DurationSeconds,
+		MeasLevel:       res.MeasLevel,
+		Bits:            res.MeasuredBits,
+		IQ:              res.IQ,
+		Raw:             res.Raw,
 	})
 }
 

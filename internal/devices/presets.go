@@ -36,13 +36,18 @@ func Superconducting(name string, sites int, seed int64) (*SimDevice, error) {
 		Seed:     seed,
 		MaxShots: 1 << 17,
 	}
+	// Realistic per-site readout spread around the device-wide figure:
+	// fabrication variance makes some resonators read out better than
+	// others.
+	scReadout := []float64{0.991, 0.985, 0.979, 0.987, 0.982}
 	for i := 0; i < sites; i++ {
 		cfg.Sites = append(cfg.Sites, SiteConfig{
-			Dim:       3,
-			FreqHz:    4.9e9 + 0.15e9*float64(i),
-			AnharmHz:  -220e6,
-			T1Seconds: 80e-6,
-			T2Seconds: 60e-6,
+			Dim:             3,
+			FreqHz:          4.9e9 + 0.15e9*float64(i),
+			AnharmHz:        -220e6,
+			T1Seconds:       80e-6,
+			T2Seconds:       60e-6,
+			ReadoutFidelity: scReadout[i%len(scReadout)],
 		})
 	}
 	for i := 0; i+1 < sites; i++ {
@@ -100,12 +105,15 @@ func TrappedIon(name string, sites int, seed int64) (*SimDevice, error) {
 		Seed:     seed,
 		MaxShots: 1 << 16,
 	}
+	// Fluorescence detection varies with ion position in the chain.
+	ionReadout := []float64{0.997, 0.996, 0.994, 0.9965}
 	for i := 0; i < sites; i++ {
 		cfg.Sites = append(cfg.Sites, SiteConfig{
-			Dim:       2,
-			FreqHz:    411e12 / 1e3, // optical transition, scaled into the solver's f64 comfort zone
-			T1Seconds: 10.0,         // seconds-long T1
-			T2Seconds: 0.2,
+			Dim:             2,
+			FreqHz:          411e12 / 1e3, // optical transition, scaled into the solver's f64 comfort zone
+			T1Seconds:       10.0,         // seconds-long T1
+			T2Seconds:       0.2,
+			ReadoutFidelity: ionReadout[i%len(ionReadout)],
 		})
 	}
 	for i := 0; i+1 < sites; i++ {
@@ -142,12 +150,15 @@ func NeutralAtom(name string, sites int, seed int64) (*SimDevice, error) {
 		Seed:     seed,
 		MaxShots: 1 << 16,
 	}
+	// Imaging fidelity varies across the tweezer array (spot inhomogeneity).
+	atomReadout := []float64{0.985, 0.978, 0.982, 0.974}
 	for i := 0; i < sites; i++ {
 		cfg.Sites = append(cfg.Sites, SiteConfig{
-			Dim:       2,
-			FreqHz:    1.0e9, // hyperfine splitting scale
-			T1Seconds: 4.0,
-			T2Seconds: 1.5e-3,
+			Dim:             2,
+			FreqHz:          1.0e9, // hyperfine splitting scale
+			T1Seconds:       4.0,
+			T2Seconds:       1.5e-3,
+			ReadoutFidelity: atomReadout[i%len(atomReadout)],
 		})
 	}
 	for i := 0; i+1 < sites; i++ {

@@ -30,10 +30,13 @@ type SimDevice struct {
 	nowSeconds float64
 	drift      *driftState
 	// Calibration table: what the control electronics believe.
-	calibFreqHz  []float64
-	calibPiAmp   []float64
-	customPulses map[string]*qdmi.PulseImpl
-	nextJob      int
+	calibFreqHz []float64
+	calibPiAmp  []float64
+	// calibReadoutFid is the believed per-site assignment fidelity; the
+	// readout-calibration routine writes measured values back here.
+	calibReadoutFid []float64
+	customPulses    map[string]*qdmi.PulseImpl
+	nextJob         int
 	// jobOverhead models fixed control-electronics wall-clock per job
 	// (arming, waveform upload, readout transfer); zero disables it.
 	jobOverhead time.Duration
@@ -62,6 +65,13 @@ func New(cfg Config) (*SimDevice, error) {
 	if cfg.ReadoutFidelity == 0 {
 		cfg.ReadoutFidelity = 1.0
 	}
+	// Fidelity below 0.5 is nonphysical (relabel the states instead) and
+	// unrepresentable by the IQ cloud model, which would silently disagree
+	// with the discriminated-level flip model.
+	if cfg.ReadoutFidelity < 0.5 || cfg.ReadoutFidelity > 1 {
+		return nil, fmt.Errorf("devices: config %q readout fidelity %g outside [0.5, 1]",
+			cfg.Name, cfg.ReadoutFidelity)
+	}
 	d := &SimDevice{
 		cfg:          cfg,
 		rng:          rand.New(rand.NewSource(cfg.Seed + 1)),
@@ -74,7 +84,13 @@ func New(cfg Config) (*SimDevice, error) {
 		if s.Dim < 2 {
 			return nil, fmt.Errorf("devices: site %d has dim %d", i, s.Dim)
 		}
+		if s.ReadoutFidelity != 0 && (s.ReadoutFidelity < 0.5 || s.ReadoutFidelity > 1) {
+			return nil, fmt.Errorf("devices: site %d readout fidelity %g outside [0.5, 1]", i, s.ReadoutFidelity)
+		}
 		d.calibFreqHz = append(d.calibFreqHz, s.FreqHz)
+	}
+	for i := range cfg.Sites {
+		d.calibReadoutFid = append(d.calibReadoutFid, d.trueReadoutFidelity(i))
 	}
 	// Calibrated π amplitude from the nominal Rabi rate and gate envelope.
 	unitArea := d.unitGateArea()
@@ -207,6 +223,31 @@ func (d *SimDevice) SetCalibratedFrequency(site int, hz float64) {
 	d.calibFreqHz[site] = hz
 }
 
+// trueReadoutFidelity returns the physical per-site assignment fidelity:
+// the site's own value, or the device-wide fallback.
+func (d *SimDevice) trueReadoutFidelity(site int) float64 {
+	if f := d.cfg.Sites[site].ReadoutFidelity; f > 0 {
+		return f
+	}
+	return d.cfg.ReadoutFidelity
+}
+
+// CalibratedReadoutFidelity returns the believed assignment fidelity of a
+// site — what QDMI site queries report.
+func (d *SimDevice) CalibratedReadoutFidelity(site int) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.calibReadoutFid[site]
+}
+
+// SetCalibratedReadoutFidelity updates the calibration table (what the
+// readout-calibration routine writes back after training a discriminator).
+func (d *SimDevice) SetCalibratedReadoutFidelity(site int, f float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.calibReadoutFid[site] = f
+}
+
 // CalibratedPiAmplitude returns the believed full-π pulse amplitude.
 func (d *SimDevice) CalibratedPiAmplitude(site int) float64 {
 	d.mu.Lock()
@@ -278,7 +319,7 @@ func (d *SimDevice) QuerySiteProperty(site int, p qdmi.SiteProperty) (any, error
 	case qdmi.SitePropAnharmonicityHz:
 		return s.AnharmHz, nil
 	case qdmi.SitePropReadoutFidelity:
-		return d.cfg.ReadoutFidelity, nil
+		return d.CalibratedReadoutFidelity(site), nil
 	case qdmi.SitePropConnectivity:
 		var out []int
 		for _, c := range d.cfg.Couplings {

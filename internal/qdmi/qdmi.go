@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"mqsspulse/internal/pulse"
+	"mqsspulse/internal/readout"
 	"mqsspulse/internal/waveform"
 )
 
@@ -171,11 +172,44 @@ func (s JobStatus) String() string {
 	}
 }
 
-// Result is a completed job's measurement data.
+// Result is a completed job's measurement data. Counts are always
+// populated; the IQ-level fields are set when the job was submitted at a
+// kerneled or raw measurement level through an AcquisitionSubmitter.
 type Result struct {
 	Counts          map[uint64]int
 	Shots           int
 	DurationSeconds float64 // executed schedule wall-clock length
+
+	// MeasLevel records the measurement level of the returned data.
+	MeasLevel readout.MeasLevel
+	// Bits lists the classical-bit positions captured, in the column order
+	// of IQ and Raw.
+	Bits []int
+	// IQ holds one integrated point per capture per shot (one averaged row
+	// under MeasReturn avg); kerneled and raw levels only.
+	IQ [][]readout.IQ
+	// Raw holds per-sample capture traces, [shot][capture][sample]; raw
+	// level only.
+	Raw [][][]complex128
+}
+
+// JobOptions extends plain (payload, format, shots) submission with the
+// acquisition parameters of the pulse extension.
+type JobOptions struct {
+	Shots int
+	// MeasLevel selects raw/kerneled/discriminated readout records.
+	MeasLevel readout.MeasLevel
+	// MeasReturn selects per-shot or shot-averaged records.
+	MeasReturn readout.MeasReturn
+}
+
+// AcquisitionSubmitter is an optional Device capability: devices whose
+// runtimes can return sub-discriminated measurement records implement it.
+// Callers type-assert; devices without it only serve discriminated counts
+// through SubmitJob.
+type AcquisitionSubmitter interface {
+	// SubmitJobOpts enqueues a payload with acquisition options.
+	SubmitJobOpts(payload []byte, format ProgramFormat, opts JobOptions) (Job, error)
 }
 
 // Job is a handle on an asynchronous device execution.

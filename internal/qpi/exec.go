@@ -72,6 +72,11 @@ type ExecConfig struct {
 	Deadline time.Time
 	// BypassCache skips any compilation caches for this submission.
 	BypassCache bool
+	// MeasLevel selects the measurement level (discriminated counts by
+	// default; kerneled or raw return IQ-plane acquisition records).
+	MeasLevel MeasLevel
+	// MeasReturn selects per-shot or shot-averaged acquisition records.
+	MeasReturn MeasReturn
 }
 
 // ExecOption tunes one submission.
@@ -97,6 +102,15 @@ func WithTimeout(d time.Duration) ExecOption {
 
 // WithoutCache bypasses compilation caches for this submission.
 func WithoutCache() ExecOption { return func(c *ExecConfig) { c.BypassCache = true } }
+
+// WithMeasLevel selects the measurement level of the returned data:
+// MeasDiscriminated (counts, the default), MeasKerneled (integrated IQ
+// points per shot), or MeasRaw (full capture traces).
+func WithMeasLevel(l MeasLevel) ExecOption { return func(c *ExecConfig) { c.MeasLevel = l } }
+
+// WithMeasReturn selects per-shot (ReturnSingle) or shot-averaged
+// (ReturnAverage) acquisition records at kerneled/raw measurement levels.
+func WithMeasReturn(r MeasReturn) ExecOption { return func(c *ExecConfig) { c.MeasReturn = r } }
 
 // NewExecConfig resolves options over the defaults.
 func NewExecConfig(opts ...ExecOption) ExecConfig {

@@ -15,7 +15,28 @@ import (
 	"errors"
 	"fmt"
 
+	"mqsspulse/internal/readout"
 	"mqsspulse/internal/waveform"
+)
+
+// Measurement-level aliases so QPI callers need not import the readout
+// package directly.
+type (
+	// MeasLevel selects raw/kerneled/discriminated readout records.
+	MeasLevel = readout.MeasLevel
+	// MeasReturn selects per-shot or shot-averaged records.
+	MeasReturn = readout.MeasReturn
+	// IQ is one point in the in-phase/quadrature plane.
+	IQ = readout.IQ
+)
+
+// Measurement levels and return modes.
+const (
+	MeasDiscriminated = readout.LevelDiscriminated
+	MeasKerneled      = readout.LevelKerneled
+	MeasRaw           = readout.LevelRaw
+	ReturnSingle      = readout.ReturnSingle
+	ReturnAverage     = readout.ReturnAverage
 )
 
 // OpKind discriminates circuit operations.
@@ -30,6 +51,7 @@ const (
 	OpDelay
 	OpBarrier
 	OpMeasure
+	OpAcquire
 )
 
 // String implements fmt.Stringer.
@@ -49,6 +71,8 @@ func (k OpKind) String() string {
 		return "barrier"
 	case OpMeasure:
 		return "measure"
+	case OpAcquire:
+		return "acquire"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}
@@ -85,6 +109,8 @@ type Op struct {
 	// Measurement fields.
 	Qubit int
 	Cbit  int
+	// WindowSamples is the acquisition window length (OpAcquire).
+	WindowSamples int64
 }
 
 // Circuit is a mixed gate/pulse quantum kernel under construction, built in
@@ -289,6 +315,17 @@ func (c *Circuit) Barrier() *Circuit {
 	return c
 }
 
+// cbitWritten reports whether classical bit cb is already the target of a
+// measure or acquire op.
+func (c *Circuit) cbitWritten(cb int) bool {
+	for _, op := range c.Ops {
+		if (op.Kind == OpMeasure || op.Kind == OpAcquire) && op.Cbit == cb {
+			return true
+		}
+	}
+	return false
+}
+
 // Measure reads qubit q into classical bit cb — the paper's qMeasure(q, cb).
 func (c *Circuit) Measure(q, cb int) *Circuit {
 	if c.err != nil {
@@ -303,13 +340,37 @@ func (c *Circuit) Measure(q, cb int) *Circuit {
 	if cb < 0 || cb >= c.Classical {
 		return c.fail("qpi: classical bit %d out of range [0,%d)", cb, c.Classical)
 	}
-	for _, op := range c.Ops {
-		if op.Kind == OpMeasure && op.Cbit == cb {
-			c.fail("qpi: classical bit %d written twice", cb)
-			return c
-		}
+	if c.cbitWritten(cb) {
+		return c.fail("qpi: classical bit %d written twice", cb)
 	}
 	c.Ops = append(c.Ops, Op{Kind: OpMeasure, Qubit: q, Cbit: cb})
+	return c
+}
+
+// Acquire opens an explicit acquisition window of windowSamples on a named
+// hardware port, capturing the readout signal into classical bit cb — the
+// pulse-level counterpart of Measure, letting programs control their own
+// capture timing (readout calibration, custom integration windows).
+func (c *Circuit) Acquire(port string, cb int, windowSamples int64) *Circuit {
+	if c.err != nil {
+		return c
+	}
+	if c.finished {
+		return c.fail("qpi: append to finished circuit")
+	}
+	if port == "" {
+		return c.fail("qpi: acquire on empty port name")
+	}
+	if windowSamples <= 0 {
+		return c.fail("qpi: acquire window must be positive, got %d", windowSamples)
+	}
+	if cb < 0 || cb >= c.Classical {
+		return c.fail("qpi: classical bit %d out of range [0,%d)", cb, c.Classical)
+	}
+	if c.cbitWritten(cb) {
+		return c.fail("qpi: classical bit %d written twice", cb)
+	}
+	c.Ops = append(c.Ops, Op{Kind: OpAcquire, Port: port, Cbit: cb, WindowSamples: windowSamples})
 	return c
 }
 
@@ -332,7 +393,7 @@ func (c *Circuit) Finished() bool { return c.finished }
 func (c *Circuit) HasPulseOps() bool {
 	for _, op := range c.Ops {
 		switch op.Kind {
-		case OpWaveformDef, OpPlayWaveform, OpFrameChange:
+		case OpWaveformDef, OpPlayWaveform, OpFrameChange, OpAcquire:
 			return true
 		}
 	}
@@ -344,7 +405,7 @@ func (c *Circuit) HasPulseOps() bool {
 func (c *Circuit) MeasuredBits() []int {
 	var out []int
 	for _, op := range c.Ops {
-		if op.Kind == OpMeasure {
+		if op.Kind == OpMeasure || op.Kind == OpAcquire {
 			out = append(out, op.Cbit)
 		}
 	}
@@ -363,12 +424,45 @@ func (c *Circuit) CountKind(k OpKind) int {
 }
 
 // Result is the outcome of executing a kernel: counts keyed by the
-// classical register bitmask (the paper's QuantumResult, read via qRead).
+// classical register bitmask (the paper's QuantumResult, read via qRead),
+// plus — when the kernel ran at a kerneled or raw measurement level — the
+// IQ-plane acquisition records beneath the counts.
 type Result struct {
 	Counts map[uint64]int
 	Shots  int
 	// DurationSeconds is the executed schedule length (pulse backends).
 	DurationSeconds float64
+
+	// MeasLevel records the measurement level of the returned data.
+	MeasLevel readout.MeasLevel
+	// Bits lists the captured classical-bit positions in the column order
+	// of IQ and Raw.
+	Bits []int
+	// IQ holds one integrated point per capture per shot (one averaged row
+	// under MeasReturn avg); kerneled and raw levels only.
+	IQ [][]readout.IQ
+	// Raw holds per-sample capture traces, [shot][capture][sample]; raw
+	// level only.
+	Raw [][][]complex128
+}
+
+// IQColumn returns every shot's integrated point for the capture that
+// wrote classical bit cb, or nil when the bit was not captured or the run
+// was discriminated-level.
+func (r *Result) IQColumn(cb int) []IQ {
+	for i, b := range r.Bits {
+		if b != cb {
+			continue
+		}
+		out := make([]IQ, 0, len(r.IQ))
+		for _, row := range r.IQ {
+			if i < len(row) {
+				out = append(out, row[i])
+			}
+		}
+		return out
+	}
+	return nil
 }
 
 // Probability returns the observed frequency of a classical bitmask.

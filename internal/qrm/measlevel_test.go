@@ -1,0 +1,55 @@
+package qrm
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mqsspulse/internal/qdmi"
+	"mqsspulse/internal/readout"
+)
+
+// TestMeasLevelRequiresAcquisitionCapability checks the scheduler fails a
+// kerneled-level request cleanly when the target device only implements
+// plain SubmitJob.
+func TestMeasLevelRequiresAcquisitionCapability(t *testing.T) {
+	s, _ := rig(t)
+	defer s.Close()
+	tk, err := s.SubmitCtx(context.Background(), Request{
+		Device: "qpu", Payload: []byte("job"), Format: qdmi.FormatQIRBase,
+		Shots: 10, MeasLevel: readout.LevelKerneled,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tk.Wait(context.Background())
+	if err == nil {
+		t.Fatal("kerneled request to a counts-only device succeeded")
+	}
+	if !errors.Is(err, qdmi.ErrNotSupported) {
+		t.Fatalf("error %v, want ErrNotSupported", err)
+	}
+	if st := s.Stats(); st.Failed != 1 {
+		t.Fatalf("stats = %+v, want one failure", st)
+	}
+}
+
+// TestDiscriminatedLevelWorksWithoutCapability pins backward compatibility:
+// the default level dispatches through plain SubmitJob.
+func TestDiscriminatedLevelWorksWithoutCapability(t *testing.T) {
+	s, _ := rig(t)
+	defer s.Close()
+	tk, err := s.SubmitCtx(context.Background(), Request{
+		Device: "qpu", Payload: []byte("job"), Format: qdmi.FormatQIRBase, Shots: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tk.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shots != 10 {
+		t.Fatalf("shots = %d", res.Shots)
+	}
+}

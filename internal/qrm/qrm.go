@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"mqsspulse/internal/qdmi"
+	"mqsspulse/internal/readout"
 )
 
 // ErrCancelled is the sentinel wrapped into the error of a cancelled
@@ -37,6 +38,12 @@ type Request struct {
 	// Tag is an optional caller label carried through to the ticket
 	// (tracing, per-tenant accounting).
 	Tag string
+	// MeasLevel selects the measurement level of the returned data
+	// (discriminated counts by default). Non-discriminated levels require
+	// the target device to implement qdmi.AcquisitionSubmitter.
+	MeasLevel readout.MeasLevel
+	// MeasReturn selects per-shot or shot-averaged acquisition records.
+	MeasReturn readout.MeasReturn
 }
 
 // Ticket tracks a submitted request through the queue and device. It is the
@@ -325,7 +332,7 @@ func (s *Scheduler) worker(q *deviceQueue) {
 			s.cancelled(item)
 			continue
 		}
-		job, err := dev.SubmitJob(item.req.Payload, item.req.Format, item.req.Shots)
+		job, err := submitToDevice(dev, item.req)
 		if err != nil {
 			s.fail(item, err)
 			continue
@@ -369,6 +376,22 @@ func (s *Scheduler) worker(q *deviceQueue) {
 			s.fail(item, err)
 		}
 	}
+}
+
+// submitToDevice dispatches a request, routing through the acquisition
+// capability when the device offers it; devices without it can only serve
+// discriminated counts.
+func submitToDevice(dev qdmi.Device, req Request) (qdmi.Job, error) {
+	if as, ok := dev.(qdmi.AcquisitionSubmitter); ok {
+		return as.SubmitJobOpts(req.Payload, req.Format, qdmi.JobOptions{
+			Shots: req.Shots, MeasLevel: req.MeasLevel, MeasReturn: req.MeasReturn,
+		})
+	}
+	if req.MeasLevel != readout.LevelDiscriminated {
+		return nil, fmt.Errorf("%w: device %s cannot return %s measurement data",
+			qdmi.ErrNotSupported, req.Device, req.MeasLevel)
+	}
+	return dev.SubmitJob(req.Payload, req.Format, req.Shots)
 }
 
 func (s *Scheduler) fail(item *queued, err error) {

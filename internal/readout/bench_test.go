@@ -1,0 +1,69 @@
+package readout
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchShots is the classification batch size: the per-shot cost of the
+// discrimination hot path is what an FPGA implementation bounds, so the
+// bench trajectory tracks it at realistic scale.
+const benchShots = 16384
+
+func benchPoints() []IQ {
+	rng := rand.New(rand.NewSource(42))
+	pts := make([]IQ, benchShots)
+	for i := range pts {
+		c := -2.0
+		if i%2 == 1 {
+			c = 2.0
+		}
+		pts[i] = IQ{c + rng.NormFloat64(), rng.NormFloat64()}
+	}
+	return pts
+}
+
+// BenchmarkDiscriminate measures the per-shot classification cost of each
+// discriminator family over a ≥10k-shot batch.
+func BenchmarkDiscriminate(b *testing.B) {
+	pts := benchPoints()
+	b.Run("linear", func(b *testing.B) {
+		d := &Linear{WI: 1, WQ: 0.1, Bias: -0.05}
+		b.SetBytes(int64(benchShots))
+		b.ResetTimer()
+		acc := 0
+		for i := 0; i < b.N; i++ {
+			for _, p := range pts {
+				acc += d.Discriminate(p)
+			}
+		}
+		_ = acc
+	})
+	b.Run("centroid", func(b *testing.B) {
+		d := &Centroid{Mean0: IQ{-2, 0}, Mean1: IQ{2, 0}}
+		b.SetBytes(int64(benchShots))
+		b.ResetTimer()
+		acc := 0
+		for i := 0; i < b.N; i++ {
+			for _, p := range pts {
+				acc += d.Discriminate(p)
+			}
+		}
+		_ = acc
+	})
+}
+
+// BenchmarkBoxcarIntegrate measures the kernel integration stage over a
+// realistic capture window.
+func BenchmarkBoxcarIntegrate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	trace := make([]complex128, 96)
+	for i := range trace {
+		trace[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	k := Boxcar{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = k.Integrate(trace)
+	}
+}

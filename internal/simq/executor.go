@@ -10,6 +10,7 @@ import (
 
 	"mqsspulse/internal/linalg"
 	"mqsspulse/internal/pulse"
+	"mqsspulse/internal/readout"
 )
 
 // ErrInterrupted is returned by Run when ExecOptions.Interrupted reports
@@ -34,6 +35,14 @@ type ExecOptions struct {
 	// ReadoutP01 is the probability a true 0 reads as 1; ReadoutP10 the
 	// probability a true 1 reads as 0 (applied per measured bit).
 	ReadoutP01, ReadoutP10 float64
+	// SiteError, when non-nil, overrides ReadoutP01/P10 with per-site
+	// assignment-error probabilities (heterogeneous readout fidelity).
+	SiteError func(site int) (p01, p10 float64)
+	// Readout, when non-nil and its Level is kerneled or raw, synthesizes
+	// IQ-plane measurement records instead of bit flips: discriminated bits
+	// then come from thresholding the synthesized points, so counts and IQ
+	// data are mutually consistent.
+	Readout *ReadoutModel
 	// Interrupted, when non-nil, is polled between integration segments;
 	// once it reports true the run aborts with ErrInterrupted. Devices wire
 	// it to their job-cancellation state.
@@ -54,6 +63,15 @@ type ExecResult struct {
 	DurationSamples int64
 	// DurationSeconds is the makespan in wall-clock units.
 	DurationSeconds float64
+	// MeasLevel records which measurement level the run returned.
+	MeasLevel readout.MeasLevel
+	// IQ holds one integrated point per capture, in MeasuredBits order,
+	// per shot (or one averaged row under ReturnAverage); set for kerneled
+	// and raw runs.
+	IQ [][]readout.IQ
+	// Raw holds the per-sample capture traces, [shot][capture][sample];
+	// set for raw runs only.
+	Raw [][][]complex128
 	// FinalState is set when the state-vector engine ran.
 	FinalState *State
 	// FinalDensity is set when the density-matrix engine ran.
@@ -79,10 +97,11 @@ type playEvent struct {
 	ch      *ControlChannel
 }
 
-// captureEvent records a classical-bit write.
+// captureEvent records a classical-bit write and its acquisition window.
 type captureEvent struct {
-	bit  int
-	site int
+	bit     int
+	site    int
+	samples int64
 }
 
 // Run executes the scheduled program. The port set of the schedule must be
@@ -151,7 +170,7 @@ func (e *Executor) Run(sp *pulse.ScheduledProgram, opts ExecOptions) (*ExecResul
 					return nil, fmt.Errorf("simq: classical bit %d written twice", v.Bit)
 				}
 			}
-			captures = append(captures, captureEvent{bit: v.Bit, site: port.Sites[0]})
+			captures = append(captures, captureEvent{bit: v.Bit, site: port.Sites[0], samples: v.DurationSamples})
 			if end := ti.Start + v.DurationSamples; end > captureEnd {
 				captureEnd = end
 			}
@@ -188,6 +207,11 @@ func (e *Executor) Run(sp *pulse.ScheduledProgram, opts ExecOptions) (*ExecResul
 		FinalDensity:    rho,
 	}
 	if len(captures) == 0 {
+		// Still stamp the requested level so callers (and the remote wire)
+		// can tell an empty acquisition apart from a level downgrade.
+		if opts.Readout != nil {
+			res.MeasLevel = opts.Readout.Level
+		}
 		return res, nil
 	}
 	sites := make([]int, len(captures))
@@ -201,14 +225,26 @@ func (e *Executor) Run(sp *pulse.ScheduledProgram, opts ExecOptions) (*ExecResul
 	} else {
 		raw = st.SampleBits(rng, sites, opts.Shots)
 	}
+	model := opts.Readout
+	if model != nil && model.Level != readout.LevelDiscriminated {
+		if err := e.sampleIQ(res, raw, captures, model, dt, rng, opts.Interrupted); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	siteErr := opts.SiteError
+	if siteErr == nil {
+		siteErr = func(int) (float64, float64) { return opts.ReadoutP01, opts.ReadoutP10 }
+	}
 	for _, r := range raw {
 		var mask uint64
 		for i, c := range captures {
 			bit := (r >> uint(i)) & 1
 			// Apply readout error.
-			if bit == 0 && opts.ReadoutP01 > 0 && rng.Float64() < opts.ReadoutP01 {
+			p01, p10 := siteErr(c.site)
+			if bit == 0 && p01 > 0 && rng.Float64() < p01 {
 				bit = 1
-			} else if bit == 1 && opts.ReadoutP10 > 0 && rng.Float64() < opts.ReadoutP10 {
+			} else if bit == 1 && p10 > 0 && rng.Float64() < p10 {
 				bit = 0
 			}
 			mask |= bit << uint(c.bit)
@@ -216,6 +252,96 @@ func (e *Executor) Run(sp *pulse.ScheduledProgram, opts ExecOptions) (*ExecResul
 		res.Counts[mask]++
 	}
 	return res, nil
+}
+
+// sampleIQ synthesizes IQ-level measurement records for every shot and
+// capture, derives discriminated counts from them, and applies the
+// requested return mode (per-shot or shot-averaged records). Raw-level
+// synthesis over many shots is itself expensive, so interrupted is polled
+// per shot like the integration loop.
+func (e *Executor) sampleIQ(res *ExecResult, raw []uint64, captures []captureEvent,
+	model *ReadoutModel, dt float64, rng *rand.Rand, interrupted func() bool) error {
+
+	wantRaw := model.Level == readout.LevelRaw
+	averaging := model.Return == readout.ReturnAverage
+	res.MeasLevel = model.Level
+
+	// Under ReturnAverage only running sums are kept — per-shot records
+	// would cost O(shots·captures·samples) memory just to be collapsed.
+	var sumPoints []readout.IQ
+	var sumTraces [][]complex128
+	if averaging {
+		sumPoints = make([]readout.IQ, len(captures))
+		if wantRaw {
+			sumTraces = make([][]complex128, len(captures))
+			for i, c := range captures {
+				sumTraces[i] = make([]complex128, c.samples)
+			}
+		}
+	} else {
+		res.IQ = make([][]readout.IQ, len(raw))
+		if wantRaw {
+			res.Raw = make([][][]complex128, len(raw))
+		}
+	}
+	for k, r := range raw {
+		if interrupted != nil && k%64 == 0 && interrupted() {
+			return ErrInterrupted
+		}
+		var points []readout.IQ
+		var traces [][]complex128
+		if !averaging {
+			points = make([]readout.IQ, len(captures))
+			if wantRaw {
+				traces = make([][]complex128, len(captures))
+			}
+		}
+		var mask uint64
+		for i, c := range captures {
+			trueBit := (r >> uint(i)) & 1
+			rec := model.synthesizeShot(rng, c.site, trueBit, c.samples, float64(c.samples)*dt, wantRaw)
+			if averaging {
+				sumPoints[i].I += rec.point.I
+				sumPoints[i].Q += rec.point.Q
+				if wantRaw {
+					for j, v := range rec.trace {
+						sumTraces[i][j] += v
+					}
+				}
+			} else {
+				points[i] = rec.point
+				if wantRaw {
+					traces[i] = rec.trace
+				}
+			}
+			mask |= rec.bit << uint(c.bit)
+		}
+		if !averaging {
+			res.IQ[k] = points
+			if wantRaw {
+				res.Raw[k] = traces
+			}
+		}
+		res.Counts[mask]++
+	}
+	if averaging {
+		n := float64(len(raw))
+		for i := range sumPoints {
+			sumPoints[i].I /= n
+			sumPoints[i].Q /= n
+		}
+		res.IQ = [][]readout.IQ{sumPoints}
+		if wantRaw {
+			inv := complex(1/n, 0)
+			for i := range sumTraces {
+				for j := range sumTraces[i] {
+					sumTraces[i][j] *= inv
+				}
+			}
+			res.Raw = [][][]complex128{sumTraces}
+		}
+	}
+	return nil
 }
 
 // sampleDt returns the common sample period; mixed sample rates across

@@ -1,0 +1,127 @@
+package simq
+
+import (
+	"math"
+	"math/rand"
+
+	"mqsspulse/internal/readout"
+)
+
+// This file synthesizes IQ-plane measurement records for captures: the
+// simulated analogue of the digitizer + integration stage of a dispersive
+// readout chain. Each site's |0⟩ and |1⟩ responses are two Gaussian clouds
+// in the IQ plane whose separation is set by the site's assignment
+// fidelity; T1 relaxation during the capture window walks decayed shots
+// along the line between the clouds, producing the characteristic smear
+// real readout records show.
+
+// iqCloudSigma is the standard deviation of each integrated cloud; the
+// cloud separation scales against it.
+const iqCloudSigma = 1.0
+
+// ReadoutSite parameterizes IQ synthesis for one site.
+type ReadoutSite struct {
+	// Fidelity is the single-shot assignment fidelity the cloud overlap
+	// reproduces under the optimal (midpoint) discriminator.
+	Fidelity float64
+	// T1Seconds enables relaxation during the capture window (0 disables).
+	T1Seconds float64
+}
+
+// ReadoutModel configures measurement-level synthesis for an execution.
+type ReadoutModel struct {
+	// Level selects raw/kerneled/discriminated records.
+	Level readout.MeasLevel
+	// Return selects per-shot or shot-averaged records.
+	Return readout.MeasReturn
+	// Sites maps site index to its readout parameters; missing sites get
+	// ideal (unit-fidelity) readout.
+	Sites map[int]ReadoutSite
+}
+
+// cloudSeparation returns the I-axis distance between the two clouds such
+// that a midpoint threshold misassigns with probability 1−fidelity:
+// ε = ½·erfc(d / (2√2·σ)).
+func cloudSeparation(fidelity float64) float64 {
+	eps := 1 - fidelity
+	if eps < 1e-9 {
+		return 12 * iqCloudSigma // effectively non-overlapping
+	}
+	if eps >= 0.5 {
+		return 0
+	}
+	return 2 * math.Sqrt2 * iqCloudSigma * math.Erfinv(1-2*eps)
+}
+
+// shotRecord is one capture's synthesized measurement record.
+type shotRecord struct {
+	point readout.IQ
+	trace []complex128
+	bit   uint64
+}
+
+// synthesizeShot draws one capture record. trueBit is the projective
+// outcome sampled from the quantum state; windowSeconds is the capture
+// length. When wantRaw is set the full per-sample trace is produced and
+// the kerneled point is its boxcar integral, so raw and kerneled records
+// are mutually consistent.
+func (m *ReadoutModel) synthesizeShot(rng *rand.Rand, site int, trueBit uint64,
+	windowSamples int64, windowSeconds float64, wantRaw bool) shotRecord {
+
+	s := m.Sites[site]
+	if s.Fidelity == 0 {
+		s.Fidelity = 1
+	}
+	d := cloudSeparation(s.Fidelity)
+	c0, c1 := -d/2, +d/2
+
+	// T1 relaxation during the window: a |1⟩ shot decays at time t with the
+	// conditional-exponential distribution, contributing the |1⟩ response
+	// before t and the |0⟩ response after, so its integrated point sits at
+	// the proportional mix of the two centroids.
+	decayFrac := 1.0 // fraction of the window spent in |1⟩
+	if trueBit == 1 && s.T1Seconds > 0 && windowSeconds > 0 {
+		pDecay := 1 - math.Exp(-windowSeconds/s.T1Seconds)
+		if rng.Float64() < pDecay {
+			u := rng.Float64()
+			t := -s.T1Seconds * math.Log(1-u*pDecay)
+			decayFrac = t / windowSeconds
+		}
+	}
+
+	var rec shotRecord
+	if wantRaw && windowSamples > 0 {
+		// Per-sample noise σ√n so the boxcar mean of n samples has cloud
+		// noise σ.
+		n := int(windowSamples)
+		sigmaS := iqCloudSigma * math.Sqrt(float64(n))
+		rec.trace = make([]complex128, n)
+		var acc complex128
+		switchAt := int(decayFrac * float64(n))
+		for i := 0; i < n; i++ {
+			mean := c0
+			if trueBit == 1 && i < switchAt {
+				mean = c1
+			}
+			v := complex(mean+sigmaS*rng.NormFloat64(), sigmaS*rng.NormFloat64())
+			rec.trace[i] = v
+			acc += v
+		}
+		acc /= complex(float64(n), 0)
+		rec.point = readout.IQ{I: real(acc), Q: imag(acc)}
+	} else {
+		mean := c0
+		if trueBit == 1 {
+			mean = c1*decayFrac + c0*(1-decayFrac)
+		}
+		rec.point = readout.IQ{
+			I: mean + iqCloudSigma*rng.NormFloat64(),
+			Q: iqCloudSigma * rng.NormFloat64(),
+		}
+	}
+	// Midpoint threshold: the discriminator stage of the chain.
+	if rec.point.I > 0 {
+		rec.bit = 1
+	}
+	return rec
+}

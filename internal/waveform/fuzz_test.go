@@ -1,0 +1,51 @@
+package waveform
+
+import (
+	"math/cmplx"
+	"testing"
+)
+
+// FuzzDecode exercises the JSON wire decoder with arbitrary input: it must
+// either reject the payload or produce a waveform satisfying the package
+// invariants (non-empty, full-scale amplitudes).
+func FuzzDecode(f *testing.F) {
+	seeds := []string{
+		`{"name":"w","samples":[[0.5,0],[0.25,-0.25]]}`,
+		`{"name":"g","kind":"gaussian","params":{"amplitude":0.8,"sigma_frac":0.2},"length":32}`,
+		`{"name":"d","kind":"drag","params":{"amplitude":0.5,"sigma_frac":0.2,"beta":0.7},"length":16}`,
+		`{"name":"bad","kind":"gaussian","params":{"amplitude":0.8,"sigma_frac":0.2},"length":0}`,
+		`{"name":"both","kind":"constant","samples":[[1,0]]}`,
+		`{}`,
+		`not json`,
+		`{"name":"big","samples":[[2,0]]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if w.Len() == 0 {
+			t.Fatalf("Decode accepted an empty waveform from %q", data)
+		}
+		for i, s := range w.Samples {
+			if m := cmplx.Abs(s); m > 1.0+1e-9 {
+				t.Fatalf("Decode accepted out-of-range sample %d (|s|=%g) from %q", i, m, data)
+			}
+		}
+		// A decoded waveform must re-encode and decode to the same samples.
+		enc, err := Encode(w)
+		if err != nil {
+			t.Fatalf("Encode of decoded waveform failed: %v", err)
+		}
+		w2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if !w.Equal(w2, 1e-12) {
+			t.Fatalf("round trip changed samples")
+		}
+	})
+}

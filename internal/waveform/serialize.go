@@ -44,6 +44,10 @@ func (s Spec) Materialize() (*Waveform, error) {
 		}
 		return New(s.Name, cs)
 	case s.Kind != "":
+		if s.Length <= 0 {
+			return nil, fmt.Errorf("%w: parametric spec %q (%s) has non-positive length %d",
+				ErrBadParam, s.Name, s.Kind, s.Length)
+		}
 		env, err := EnvelopeFromSpec(s.Kind, s.Params)
 		if err != nil {
 			return nil, err

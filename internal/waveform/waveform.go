@@ -38,8 +38,9 @@ func New(name string, samples []complex128) (*Waveform, error) {
 		return nil, ErrEmpty
 	}
 	for i, s := range samples {
-		if cmplx.Abs(s) > 1.0+1e-12 {
-			return nil, fmt.Errorf("%w: sample %d has magnitude %g", ErrAmplitudeRange, i, cmplx.Abs(s))
+		m := cmplx.Abs(s)
+		if math.IsNaN(m) || m > 1.0+1e-12 {
+			return nil, fmt.Errorf("%w: sample %d has magnitude %g", ErrAmplitudeRange, i, m)
 		}
 	}
 	cp := make([]complex128, len(samples))
