@@ -77,6 +77,16 @@ const DefaultShots = qpi.DefaultShots
 // test with errors.Is.
 var ErrCancelled = qdmi.ErrCancelled
 
+// ErrOverloaded is the sentinel wrapped into submissions rejected by the
+// scheduler's admission control (the target queue is at its depth limit);
+// callers should back off and retry. It crosses the remote wire protocol,
+// so errors.Is works against remote submissions too.
+var ErrOverloaded = qrm.ErrOverloaded
+
+// ErrNoSuchTarget is the sentinel wrapped into submissions naming an
+// unknown device or pool; test with errors.Is.
+var ErrNoSuchTarget = qrm.ErrNoSuchTarget
+
 // WithShots sets the number of measurement shots.
 func WithShots(n int) ExecOption { return qpi.WithShots(n) }
 
@@ -85,6 +95,11 @@ func WithPriority(p int) ExecOption { return qpi.WithPriority(p) }
 
 // WithTag attaches a caller label to the submission.
 func WithTag(tag string) ExecOption { return qpi.WithTag(tag) }
+
+// WithPool targets a named device pool instead of the backend's default
+// device: the scheduler places the job on the least-loaded compatible pool
+// member (see Scheduler.RegisterPool).
+func WithPool(name string) ExecOption { return qpi.WithPool(name) }
 
 // WithDeadline bounds the execution; past it the job is cancelled.
 func WithDeadline(t time.Time) ExecOption { return qpi.WithDeadline(t) }
@@ -291,6 +306,16 @@ type (
 	BatchResult = client.BatchResult
 	// Ticket tracks a queued job.
 	Ticket = qrm.Ticket
+	// Scheduler is the Quantum Resource Manager: the fleet scheduler
+	// reachable through Client.QRM (pools, concurrency, admission
+	// control, fleet stats).
+	Scheduler = qrm.Scheduler
+	// SchedulerStats is a fleet-wide scheduler counter snapshot.
+	SchedulerStats = qrm.Stats
+	// DeviceStats is the per-device slice of a SchedulerStats snapshot.
+	DeviceStats = qrm.DeviceStats
+	// PoolStats is the per-pool slice of a SchedulerStats snapshot.
+	PoolStats = qrm.PoolStats
 	// ServerOption tunes a Server (idle timeouts, job time caps).
 	ServerOption = client.ServerOption
 	// RemoteOption tunes a RemoteAdapter (dial timeouts).

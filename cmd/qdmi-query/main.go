@@ -1,39 +1,129 @@
 // qdmi-query inspects a device through the QDMI interface (paper Fig. 3):
 // device, site, operation, and port properties, including the pulse-support
-// extension this paper adds.
+// extension this paper adds. With -fleet N it instead builds a pool of N
+// identical simulators, dispatches a job burst through the QRM's fleet
+// scheduler, and prints the per-device/per-pool statistics surface.
 //
 // Usage:
 //
 //	qdmi-query -device sc
 //	qdmi-query -device ion -sites 3
+//	qdmi-query -device sc -fleet 4 -jobs 64
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"time"
 
+	mqsspulse "mqsspulse"
 	"mqsspulse/internal/devices"
 	"mqsspulse/internal/qdmi"
 )
 
+// buildDevice constructs one preset simulator.
+func buildDevice(preset, name string, sites int, seed int64) (*devices.SimDevice, error) {
+	switch preset {
+	case "sc":
+		return devices.Superconducting(name, sites, seed)
+	case "ion":
+		return devices.TrappedIon(name, sites, seed)
+	case "atom":
+		return devices.NeutralAtom(name, sites, seed)
+	default:
+		return nil, fmt.Errorf("unknown device %q", preset)
+	}
+}
+
+// runFleet registers n preset devices as pool "fleet", pushes a burst of
+// jobs through the scheduler, and prints the fleet statistics the QRM
+// exposes: per-device queue depth, utilization, dispatch and steal counts,
+// and per-pool queue state.
+func runFleet(preset string, sites, n, jobs int) error {
+	devs := make([]mqsspulse.Device, n)
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		dev, err := buildDevice(preset, fmt.Sprintf("%s-%d", preset, i), sites, int64(1+i))
+		if err != nil {
+			return err
+		}
+		// A small fixed per-job electronics overhead creates real queueing,
+		// so the stats show placement at work.
+		dev.SetJobOverhead(2 * time.Millisecond)
+		devs[i], names[i] = dev, dev.Name()
+	}
+	stack, err := mqsspulse.NewStack(devs...)
+	if err != nil {
+		return err
+	}
+	defer stack.Close()
+	if err := stack.Client.QRM().RegisterPool("fleet", names...); err != nil {
+		return err
+	}
+
+	k := mqsspulse.NewCircuit("fleet-probe", 1, 1).X(0).Measure(0, 0)
+	if err := k.End(); err != nil {
+		return err
+	}
+	kernels := make([]*mqsspulse.Circuit, jobs)
+	for i := range kernels {
+		kernels[i] = k
+	}
+	start := time.Now()
+	results, err := stack.Client.RunBatch(context.Background(), kernels, "",
+		mqsspulse.SubmitOptions{Shots: 16, Pool: "fleet", Tag: "qdmi-query"})
+	if err != nil {
+		return err
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("job %d: %w", i, r.Err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	st := stack.Client.QRM().Stats()
+	fmt.Printf("=== fleet: %d × %s, %d jobs in %v ===\n", n, preset, jobs, elapsed.Round(time.Millisecond))
+	fmt.Printf("  %-12s %5s %8s %5s %10s %6s %11s\n",
+		"device", "slots", "inflight", "depth", "dispatched", "stolen", "utilization")
+	devNames := make([]string, 0, len(st.Devices))
+	for name := range st.Devices {
+		devNames = append(devNames, name)
+	}
+	sort.Strings(devNames)
+	for _, name := range devNames {
+		d := st.Devices[name]
+		fmt.Printf("  %-12s %5d %8d %5d %10d %6d %11.2f\n",
+			name, d.Slots, d.Inflight, d.Depth, d.Dispatched, d.Stolen, d.Utilization)
+	}
+	fmt.Printf("\n  %-12s %5s  %s\n", "pool", "depth", "members")
+	for name, p := range st.Pools {
+		fmt.Printf("  %-12s %5d  %v\n", name, p.Depth, p.Members)
+	}
+	fmt.Printf("\n  totals: submitted=%d completed=%d failed=%d cancelled=%d rejected=%d steals=%d\n",
+		st.Submitted, st.Completed, st.Failed, st.Cancelled, st.Rejected, st.Steals)
+	return nil
+}
+
 func main() {
 	device := flag.String("device", "sc", "device preset: sc, ion, atom")
 	sites := flag.Int("sites", 2, "device site count")
+	fleet := flag.Int("fleet", 0, "build a pool of N devices and print fleet scheduler stats")
+	jobs := flag.Int("jobs", 32, "jobs to dispatch in -fleet mode")
 	flag.Parse()
 
-	var dev *devices.SimDevice
-	var err error
-	switch *device {
-	case "sc":
-		dev, err = devices.Superconducting("sc", *sites, 1)
-	case "ion":
-		dev, err = devices.TrappedIon("ion", *sites, 1)
-	case "atom":
-		dev, err = devices.NeutralAtom("atom", *sites, 1)
-	default:
-		err = fmt.Errorf("unknown device %q", *device)
+	if *fleet > 0 {
+		if err := runFleet(*device, *sites, *fleet, *jobs); err != nil {
+			fmt.Fprintln(os.Stderr, "qdmi-query:", err)
+			os.Exit(1)
+		}
+		return
 	}
+
+	dev, err := buildDevice(*device, *device, *sites, 1)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qdmi-query:", err)
 		os.Exit(1)

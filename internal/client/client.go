@@ -10,8 +10,13 @@
 // The execution surface is context-aware and asynchronous: SubmitCtx
 // returns a scheduler ticket bound to the caller's context, RunCtx waits
 // under it, and RunBatch compiles many kernels concurrently and pipelines
-// them through the scheduler. The pre-context entry points (Submit, Run)
-// remain as deprecated shims.
+// them through the scheduler. Submissions target a single device or — via
+// SubmitOptions.Pool — a QRM device pool, in which case the kernel compiles
+// against a deterministic representative member and the fleet scheduler
+// places the job on the least-loaded one; admission-control rejections
+// surface as qrm.ErrOverloaded (also across the remote wire protocol) so
+// callers can back off. The pre-context entry points (Submit, Run) remain
+// as deprecated shims.
 package client
 
 import (
@@ -167,10 +172,18 @@ func containsPulse(payload []byte) bool {
 
 // SubmitOptions tunes a submission.
 type SubmitOptions struct {
-	Shots    int
+	// Shots is the number of measurement samples (qpi.DefaultShots when
+	// zero).
+	Shots int
+	// Priority orders scheduler dispatch: higher runs first.
 	Priority int
 	// Tag labels the ticket for tracing and per-tenant accounting.
 	Tag string
+	// Pool, when non-empty, targets a named QRM device pool instead of the
+	// device argument (which is then ignored): the kernel compiles against
+	// a deterministic representative member and the scheduler places the
+	// job on the least-loaded one.
+	Pool string
 	// BypassCache skips the lowering cache for this submission.
 	BypassCache bool
 	// MeasLevel selects the measurement level (discriminated counts by
@@ -189,10 +202,28 @@ func resultFromQDMI(res *qdmi.Result) *qpi.Result {
 	}
 }
 
+// compileTarget resolves the device a submission compiles against: the
+// named device, or — for pool submissions — the pool's first member in
+// sorted order. The representative is deterministic so pool submissions
+// share lowering-cache entries; RegisterPool's compatibility check is what
+// makes the payload runnable on every member.
+func (c *Client) compileTarget(device string, opts SubmitOptions) (string, error) {
+	if opts.Pool == "" {
+		return device, nil
+	}
+	members, err := c.qrm.PoolMembers(opts.Pool)
+	if err != nil {
+		return "", err
+	}
+	return members[0], nil
+}
+
 // SubmitCtx compiles and enqueues a kernel under ctx, returning the QRM
 // ticket. Cancelling ctx cancels the job wherever it is: a queued ticket
 // never reaches the device; a running one is aborted where the device
-// supports it.
+// supports it. When opts.Pool is set the device argument is ignored and
+// the job is placed on the pool's least-loaded member; overload
+// rejections surface as qrm.ErrOverloaded.
 func (c *Client) SubmitCtx(ctx context.Context, k *qpi.Circuit, device string, opts SubmitOptions) (*qrm.Ticket, error) {
 	if err := k.Err(); err != nil {
 		return nil, err
@@ -206,15 +237,23 @@ func (c *Client) SubmitCtx(ctx context.Context, k *qpi.Circuit, device string, o
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("client: submit: %w", err)
 	}
-	payload, format, err := c.compile(k, device, opts.BypassCache)
+	target, err := c.compileTarget(device, opts)
 	if err != nil {
 		return nil, err
 	}
-	return c.qrm.SubmitCtx(ctx, qrm.Request{
+	payload, format, err := c.compile(k, target, opts.BypassCache)
+	if err != nil {
+		return nil, err
+	}
+	req := qrm.Request{
 		Device: device, Payload: payload, Format: format,
 		Shots: opts.Shots, Priority: opts.Priority, Tag: opts.Tag,
 		MeasLevel: opts.MeasLevel, MeasReturn: opts.MeasReturn,
-	})
+	}
+	if opts.Pool != "" {
+		req.Device, req.Pool = "", opts.Pool
+	}
+	return c.qrm.SubmitCtx(ctx, req)
 }
 
 // RunCtx is the synchronous context-aware path: compile, schedule, and
@@ -327,6 +366,7 @@ func (a *NativeAdapter) Submit(ctx context.Context, k *qpi.Circuit, cfg qpi.Exec
 		Shots:       cfg.Shots,
 		Priority:    cfg.Priority,
 		Tag:         cfg.Tag,
+		Pool:        cfg.Pool,
 		BypassCache: cfg.BypassCache,
 		MeasLevel:   cfg.MeasLevel,
 		MeasReturn:  cfg.MeasReturn,

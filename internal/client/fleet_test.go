@@ -1,0 +1,138 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mqsspulse/internal/devices"
+	"mqsspulse/internal/qdmi"
+	"mqsspulse/internal/qpi"
+	"mqsspulse/internal/qrm"
+)
+
+// fleetClient builds a client over n identical simulators dev-0..dev-(n-1)
+// registered as pool "sims".
+func fleetClient(t *testing.T, n int) *Client {
+	t.Helper()
+	drv := qdmi.NewDriver()
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		dev, err := devices.Superconducting(fmtDev(i), 2, int64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := drv.RegisterDevice(dev); err != nil {
+			t.Fatal(err)
+		}
+		names[i] = dev.Name()
+	}
+	c := New(drv.OpenSession())
+	t.Cleanup(c.Close)
+	if err := c.QRM().RegisterPool("sims", names...); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func fmtDev(i int) string { return "dev-" + string(rune('0'+i)) }
+
+func TestClientPoolSubmission(t *testing.T) {
+	c := fleetClient(t, 2)
+	res, err := c.RunCtx(context.Background(), bell(t), "", SubmitOptions{Shots: 256, Pool: "sims"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shots != 256 {
+		t.Fatalf("shots = %d", res.Shots)
+	}
+	st := c.QRM().Stats()
+	if st.Completed != 1 || st.Pools["sims"].Depth != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Pool submissions compile once against the representative member and
+	// hit the lowering cache afterwards.
+	if _, err := c.RunCtx(context.Background(), bell(t), "", SubmitOptions{Shots: 64, Pool: "sims"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.CacheHits() == 0 {
+		t.Fatal("pool submissions bypassed the lowering cache")
+	}
+}
+
+func TestClientPoolViaExecOption(t *testing.T) {
+	c := fleetClient(t, 2)
+	// NativeAdapter with no fixed target: qpi.WithPool carries the whole
+	// routing decision.
+	backend := &NativeAdapter{Client: c}
+	res, err := qpi.Run(context.Background(), backend, bell(t), qpi.WithShots(128), qpi.WithPool("sims"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shots != 128 {
+		t.Fatalf("shots = %d", res.Shots)
+	}
+}
+
+func TestClientUnknownPoolTyped(t *testing.T) {
+	c := fleetClient(t, 1)
+	_, err := c.RunCtx(context.Background(), bell(t), "", SubmitOptions{Shots: 16, Pool: "ghost"})
+	if !errors.Is(err, qrm.ErrNoSuchTarget) {
+		t.Fatalf("err = %v, want ErrNoSuchTarget", err)
+	}
+}
+
+func TestRemotePoolSubmission(t *testing.T) {
+	c := fleetClient(t, 2)
+	srv, err := NewServer(c, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	remote, err := NewRemoteAdapter(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	payload, format, err := c.Compile(bell(t), fmtDev(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := remote.SubmitPayloadCtx(context.Background(), "", payload, format,
+		SubmitOptions{Shots: 64, Pool: "sims"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shots != 64 {
+		t.Fatalf("shots = %d", res.Shots)
+	}
+	// Typed target errors cross the wire.
+	if _, err := remote.SubmitPayloadCtx(context.Background(), "", payload, format,
+		SubmitOptions{Shots: 64, Pool: "ghost"}); !errors.Is(err, qrm.ErrNoSuchTarget) {
+		t.Fatalf("err = %v, want ErrNoSuchTarget across the wire", err)
+	}
+}
+
+func TestWireErrorKindRoundTrip(t *testing.T) {
+	cases := []struct {
+		err  error
+		kind string
+	}{
+		{qrm.ErrOverloaded, "overloaded"},
+		{qrm.ErrNoSuchTarget, "no_such_target"},
+		{errors.New("plain"), ""},
+	}
+	for _, tc := range cases {
+		if got := errorKind(tc.err); got != tc.kind {
+			t.Fatalf("errorKind(%v) = %q, want %q", tc.err, got, tc.kind)
+		}
+		rebuilt := errorFromWire(tc.kind, tc.err.Error())
+		if tc.kind != "" && !errors.Is(rebuilt, tc.err) {
+			t.Fatalf("errorFromWire(%q) = %v, does not match sentinel", tc.kind, rebuilt)
+		}
+	}
+	if !errors.Is(errorFromWire("overloaded", "queue full"), qrm.ErrOverloaded) {
+		t.Fatal("overloaded kind lost across the wire")
+	}
+}

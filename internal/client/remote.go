@@ -23,7 +23,9 @@ import (
 
 // remoteRequest is the wire form of a job submission.
 type remoteRequest struct {
-	Device   string `json:"device"`
+	Device string `json:"device"`
+	// Pool targets a named server-side device pool instead of Device.
+	Pool     string `json:"pool,omitempty"`
 	Format   string `json:"format"`
 	Payload  string `json:"payload"`
 	Shots    int    `json:"shots"`
@@ -40,7 +42,11 @@ type remoteRequest struct {
 
 // remoteResponse is the wire form of a completed job.
 type remoteResponse struct {
-	Error           string            `json:"error,omitempty"`
+	Error string `json:"error,omitempty"`
+	// ErrorKind carries the machine-readable class of Error across the
+	// wire ("overloaded", "no_such_target"), so the adapter can rebuild
+	// the typed sentinels and callers can back off with errors.Is.
+	ErrorKind       string            `json:"error_kind,omitempty"`
 	Counts          map[string]int    `json:"counts,omitempty"`
 	Shots           int               `json:"shots"`
 	DurationSeconds float64           `json:"duration_seconds"`
@@ -206,8 +212,14 @@ func (s *Server) handle(req *remoteRequest) remoteResponse {
 	if err != nil {
 		return remoteResponse{Error: err.Error()}
 	}
+	device := req.Device
+	if req.Pool != "" {
+		// Pool targeting wins, mirroring Client.SubmitCtx.
+		device = ""
+	}
 	tk, err := s.client.qrm.SubmitCtx(ctx, qrm.Request{
-		Device:     req.Device,
+		Device:     device,
+		Pool:       req.Pool,
 		Payload:    []byte(req.Payload),
 		Format:     format,
 		Shots:      req.Shots,
@@ -217,11 +229,11 @@ func (s *Server) handle(req *remoteRequest) remoteResponse {
 		MeasReturn: ret,
 	})
 	if err != nil {
-		return remoteResponse{Error: err.Error()}
+		return remoteResponse{Error: err.Error(), ErrorKind: errorKind(err)}
 	}
 	res, err := tk.Wait(ctx)
 	if err != nil {
-		return remoteResponse{Error: err.Error()}
+		return remoteResponse{Error: err.Error(), ErrorKind: errorKind(err)}
 	}
 	counts := make(map[string]int, len(res.Counts))
 	for mask, n := range res.Counts {
@@ -255,6 +267,31 @@ func (s *Server) handle(req *remoteRequest) remoteResponse {
 		}
 	}
 	return resp
+}
+
+// errorKind classifies a scheduler error for the wire, so typed sentinels
+// survive the machine boundary.
+func errorKind(err error) string {
+	switch {
+	case errors.Is(err, qrm.ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, qrm.ErrNoSuchTarget):
+		return "no_such_target"
+	default:
+		return ""
+	}
+}
+
+// errorFromWire rebuilds a typed submission error from the wire fields.
+func errorFromWire(kind, msg string) error {
+	switch kind {
+	case "overloaded":
+		return fmt.Errorf("client: remote: %w: %s", qrm.ErrOverloaded, msg)
+	case "no_such_target":
+		return fmt.Errorf("client: remote: %w: %s", qrm.ErrNoSuchTarget, msg)
+	default:
+		return fmt.Errorf("client: remote: %s", msg)
+	}
 }
 
 // RemoteOption tunes a RemoteAdapter.
@@ -328,7 +365,7 @@ func (r *RemoteAdapter) SubmitPayloadCtx(ctx context.Context, device string, pay
 		return nil, fmt.Errorf("client: remote: %w", err)
 	}
 	req := remoteRequest{
-		Device: device, Format: string(format), Payload: string(payload),
+		Device: device, Pool: opts.Pool, Format: string(format), Payload: string(payload),
 		Shots: opts.Shots, Priority: opts.Priority, Tag: opts.Tag,
 	}
 	if opts.MeasLevel != readout.LevelDiscriminated {
@@ -382,7 +419,7 @@ func (r *RemoteAdapter) SubmitPayloadCtx(ctx context.Context, device string, pay
 		return nil, err
 	}
 	if resp.Error != "" {
-		return nil, fmt.Errorf("client: remote: %s", resp.Error)
+		return nil, errorFromWire(resp.ErrorKind, resp.Error)
 	}
 	counts := map[uint64]int{}
 	for k, v := range resp.Counts {

@@ -67,6 +67,10 @@ type ExecConfig struct {
 	// Tag is an optional caller label carried through the scheduler
 	// (tracing, per-tenant accounting).
 	Tag string
+	// Pool, when non-empty, targets a named device pool instead of the
+	// backend's default device: the scheduler places the job on the
+	// least-loaded compatible member.
+	Pool string
 	// Deadline, when non-zero, bounds the whole execution: the backend
 	// derives a deadline context so the job is cancelled when it passes.
 	Deadline time.Time
@@ -90,6 +94,12 @@ func WithPriority(p int) ExecOption { return func(c *ExecConfig) { c.Priority = 
 
 // WithTag attaches a caller label to the submission.
 func WithTag(tag string) ExecOption { return func(c *ExecConfig) { c.Tag = tag } }
+
+// WithPool targets a named device pool (see the QRM's RegisterPool)
+// instead of the backend's default device: the scheduler places the job on
+// the least-loaded compatible pool member, and idle members steal it if
+// its first placement stalls.
+func WithPool(name string) ExecOption { return func(c *ExecConfig) { c.Pool = name } }
 
 // WithDeadline bounds the execution: past it the job is cancelled wherever
 // it is (queued or, on devices that support aborts, running).

@@ -1,0 +1,317 @@
+package qrm
+
+// Fleet management: device pools of interchangeable backends, per-device
+// concurrency, admission control, and the fleet-level statistics surface.
+// The placement engine itself lives in the worker loop (qrm.go): devices
+// pull the best-priority job from their own queue and their pools' queues,
+// and steal from pool siblings when idle.
+
+import (
+	"fmt"
+	"sort"
+
+	"mqsspulse/internal/qdmi"
+)
+
+// deviceState is the scheduler's view of one device: its targeted queue,
+// its dispatch slots, and its membership in pools. All fields are guarded
+// by Scheduler.mu.
+type deviceState struct {
+	name string
+	heap jobHeap // device-targeted jobs
+
+	slots    int // configured concurrency (dispatch slots)
+	workers  int // spawned worker goroutines (converges to slots)
+	inflight int // jobs currently held by a worker
+
+	dispatched int64 // jobs this device actually ran
+	stolen     int64 // jobs this device stole from pool siblings
+
+	pools []*poolState // pools this device serves
+}
+
+// sources lists the queues a device drains without stealing: its own and
+// those of every pool it belongs to.
+func (d *deviceState) sources() []*jobHeap {
+	srcs := make([]*jobHeap, 0, 1+len(d.pools))
+	srcs = append(srcs, &d.heap)
+	for _, p := range d.pools {
+		srcs = append(srcs, &p.heap)
+	}
+	return srcs
+}
+
+// poolState is a named set of interchangeable devices sharing one queue.
+// Guarded by Scheduler.mu.
+type poolState struct {
+	name    string
+	members []*deviceState
+	heap    jobHeap // pool-targeted jobs, placed on the least-loaded member
+}
+
+// ensureDeviceLocked returns the device's scheduler state, creating it — and
+// spawning its first dispatch worker — on first reference. Callers hold
+// s.mu.
+func (s *Scheduler) ensureDeviceLocked(name string) *deviceState {
+	d, ok := s.devices[name]
+	if !ok {
+		d = &deviceState{name: name, slots: 1}
+		s.devices[name] = d
+		s.spawnWorkerLocked(d)
+	}
+	return d
+}
+
+// spawnWorkerLocked starts one dispatch worker for d. Callers hold s.mu.
+func (s *Scheduler) spawnWorkerLocked(d *deviceState) {
+	d.workers++
+	s.wg.Add(1)
+	go s.worker(d)
+}
+
+// RegisterPool creates a named pool of interchangeable devices. Members
+// must already be registered with the QDMI driver and mutually compatible:
+// identical site counts and at least one common program format, as reported
+// through qdmi device-property queries — the contract that makes a payload
+// compiled for one member runnable on any of them. Jobs submitted with
+// Request.Pool are placed on the least-loaded member, and idle members
+// steal device-targeted work from busy siblings.
+//
+// A device may serve several pools. Pools cannot be registered twice or
+// after Close.
+func (s *Scheduler) RegisterPool(name string, members ...string) error {
+	if name == "" {
+		return fmt.Errorf("%w: pool with empty name", qdmi.ErrInvalidArgument)
+	}
+	if len(members) == 0 {
+		return fmt.Errorf("%w: pool %q has no members", qdmi.ErrInvalidArgument, name)
+	}
+	// Resolve every member and collect the compatibility inputs before
+	// touching scheduler state, so a bad member leaves nothing behind.
+	sites := make([]int, len(members))
+	formats := make([][]qdmi.ProgramFormat, len(members))
+	seen := make(map[string]bool, len(members))
+	for i, m := range members {
+		if seen[m] {
+			return fmt.Errorf("%w: pool %q lists member %q twice", qdmi.ErrInvalidArgument, name, m)
+		}
+		seen[m] = true
+		dev, err := s.session.Device(m)
+		if err != nil {
+			return fmt.Errorf("%w: pool %q member %q", ErrNoSuchTarget, name, m)
+		}
+		sites[i] = dev.NumSites()
+		f, err := dev.QueryDeviceProperty(qdmi.DevicePropProgramFormats)
+		if err != nil {
+			return fmt.Errorf("qrm: pool %q member %q: program formats: %w", name, m, err)
+		}
+		fl, ok := f.([]qdmi.ProgramFormat)
+		if !ok || len(fl) == 0 {
+			return fmt.Errorf("%w: pool %q member %q reports no program formats",
+				qdmi.ErrInvalidArgument, name, m)
+		}
+		formats[i] = fl
+	}
+	for i := 1; i < len(members); i++ {
+		if sites[i] != sites[0] {
+			return fmt.Errorf("%w: pool %q members %q (%d sites) and %q (%d sites) are not interchangeable",
+				qdmi.ErrInvalidArgument, name, members[0], sites[0], members[i], sites[i])
+		}
+	}
+	if len(commonFormats(formats)) == 0 {
+		return fmt.Errorf("%w: pool %q members share no program format", qdmi.ErrInvalidArgument, name)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("qrm: scheduler closed")
+	}
+	if _, dup := s.pools[name]; dup {
+		return fmt.Errorf("%w: duplicate pool %q", qdmi.ErrInvalidArgument, name)
+	}
+	p := &poolState{name: name}
+	for _, m := range members {
+		d := s.ensureDeviceLocked(m)
+		d.pools = append(d.pools, p)
+		p.members = append(p.members, d)
+	}
+	s.pools[name] = p
+	return nil
+}
+
+// commonFormats intersects the members' program-format lists.
+func commonFormats(lists [][]qdmi.ProgramFormat) []qdmi.ProgramFormat {
+	count := map[qdmi.ProgramFormat]int{}
+	for _, l := range lists {
+		seen := map[qdmi.ProgramFormat]bool{}
+		for _, f := range l {
+			if !seen[f] {
+				seen[f] = true
+				count[f]++
+			}
+		}
+	}
+	var out []qdmi.ProgramFormat
+	for f, n := range count {
+		if n == len(lists) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// PoolMembers returns the sorted member names of a pool, or ErrNoSuchTarget
+// for an unknown pool. Clients use it to pick a deterministic
+// representative device to compile pool-targeted kernels against.
+func (s *Scheduler) PoolMembers(name string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pools[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: pool %q", ErrNoSuchTarget, name)
+	}
+	out := make([]string, len(p.members))
+	for i, d := range p.members {
+		out[i] = d.name
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Pools returns the sorted names of the registered pools.
+func (s *Scheduler) Pools() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.pools))
+	for name := range s.pools {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetDeviceConcurrency sets the number of dispatch slots of a device: the
+// jobs it may hold in flight at once. Physical QPUs serialize execution
+// (the default, 1); simulators can run several. Raising the count spawns
+// workers immediately; lowering it retires surplus workers as they finish
+// their current job. The device must be registered with the QDMI driver.
+func (s *Scheduler) SetDeviceConcurrency(device string, slots int) error {
+	if slots < 1 {
+		return fmt.Errorf("%w: concurrency %d < 1", qdmi.ErrInvalidArgument, slots)
+	}
+	if _, err := s.session.Device(device); err != nil {
+		return fmt.Errorf("%w: device %q", ErrNoSuchTarget, device)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("qrm: scheduler closed")
+	}
+	d := s.ensureDeviceLocked(device)
+	d.slots = slots
+	for d.workers < d.slots {
+		s.spawnWorkerLocked(d)
+	}
+	s.cond.Broadcast() // surplus workers observe the lowered slot count
+	return nil
+}
+
+// SetMaxQueueDepth bounds the number of queued (not yet dispatched) jobs
+// per target — each device queue and each pool queue independently. A
+// submission that would exceed the bound fails with ErrOverloaded so
+// callers can back off. Zero (the default) disables admission control.
+func (s *Scheduler) SetMaxQueueDepth(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxDepth = n
+}
+
+// DeviceStats is the per-device slice of a Stats snapshot.
+type DeviceStats struct {
+	// Depth is the number of queued jobs targeting this device (cancelled
+	// entries count until a worker skips them).
+	Depth int
+	// Inflight is the number of jobs workers currently hold.
+	Inflight int
+	// Slots is the configured concurrency.
+	Slots int
+	// Utilization is Inflight/Slots at snapshot time.
+	Utilization float64
+	// Dispatched counts jobs this device actually ran.
+	Dispatched int64
+	// Stolen counts jobs this device took from busy pool siblings.
+	Stolen int64
+}
+
+// PoolStats is the per-pool slice of a Stats snapshot.
+type PoolStats struct {
+	// Depth is the number of pool-queued jobs not yet placed on a member.
+	Depth int
+	// Members lists the pool's device names, sorted.
+	Members []string
+}
+
+// Stats is a point-in-time snapshot of the scheduler's counters, including
+// the per-device and per-pool fleet breakdown.
+type Stats struct {
+	// Submitted counts accepted submissions.
+	Submitted int64
+	// Completed counts jobs that finished with a result.
+	Completed int64
+	// Failed counts jobs that finished with an error.
+	Failed int64
+	// Cancelled counts jobs cancelled while queued or in flight.
+	Cancelled int64
+	// Rejected counts submissions refused by admission control
+	// (ErrOverloaded).
+	Rejected int64
+	// Steals counts jobs an idle device took from a busy pool sibling.
+	Steals int64
+	// MaintenanceRuns counts hook invocations that did work.
+	MaintenanceRuns int64
+	// Devices breaks the fleet down per device.
+	Devices map[string]DeviceStats
+	// Pools breaks the fleet down per pool.
+	Pools map[string]PoolStats
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Submitted:       s.n.submitted,
+		Completed:       s.n.completed,
+		Failed:          s.n.failed,
+		Cancelled:       s.n.cancelled,
+		Rejected:        s.n.rejected,
+		Steals:          s.n.steals,
+		MaintenanceRuns: s.n.maintenanceRuns,
+		Devices:         make(map[string]DeviceStats, len(s.devices)),
+		Pools:           make(map[string]PoolStats, len(s.pools)),
+	}
+	for name, d := range s.devices {
+		u := 0.0
+		if d.slots > 0 {
+			u = float64(d.inflight) / float64(d.slots)
+		}
+		st.Devices[name] = DeviceStats{
+			Depth:       d.heap.Len(),
+			Inflight:    d.inflight,
+			Slots:       d.slots,
+			Utilization: u,
+			Dispatched:  d.dispatched,
+			Stolen:      d.stolen,
+		}
+	}
+	for name, p := range s.pools {
+		members := make([]string, len(p.members))
+		for i, d := range p.members {
+			members[i] = d.name
+		}
+		sort.Strings(members)
+		st.Pools[name] = PoolStats{Depth: p.heap.Len(), Members: members}
+	}
+	return st
+}

@@ -1,0 +1,508 @@
+package qrm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mqsspulse/internal/pulse"
+	"mqsspulse/internal/qdmi"
+)
+
+// fleetDevice is a scriptable pool-member mock: configurable site count and
+// program formats (for pool compatibility checks), optional blocking (jobs
+// finish only after release closes), and execution recording.
+type fleetDevice struct {
+	name     string
+	numSites int
+	formats  []qdmi.ProgramFormat
+	release  chan struct{} // when non-nil, jobs block until it closes
+
+	mu          sync.Mutex
+	executed    []string
+	inflight    int
+	maxInflight int
+	nextJob     int
+}
+
+func newFleetDevice(name string) *fleetDevice {
+	return &fleetDevice{
+		name: name, numSites: 2,
+		formats: []qdmi.ProgramFormat{qdmi.FormatQIRBase, qdmi.FormatQIRPulse},
+	}
+}
+
+func (d *fleetDevice) Name() string { return d.name }
+func (d *fleetDevice) QueryDeviceProperty(p qdmi.DeviceProperty) (any, error) {
+	if p == qdmi.DevicePropProgramFormats {
+		return append([]qdmi.ProgramFormat(nil), d.formats...), nil
+	}
+	return nil, qdmi.ErrNotSupported
+}
+func (d *fleetDevice) NumSites() int { return d.numSites }
+func (d *fleetDevice) QuerySiteProperty(int, qdmi.SiteProperty) (any, error) {
+	return nil, qdmi.ErrNotSupported
+}
+func (d *fleetDevice) Operations() []string { return nil }
+func (d *fleetDevice) QueryOperationProperty(string, []int, qdmi.OperationProperty) (any, error) {
+	return nil, qdmi.ErrNotSupported
+}
+func (d *fleetDevice) Ports() []*pulse.Port { return nil }
+func (d *fleetDevice) QueryPortProperty(string, qdmi.PortProperty) (any, error) {
+	return nil, qdmi.ErrNotSupported
+}
+func (d *fleetDevice) DefaultPulse(string, []int) (*qdmi.PulseImpl, error) {
+	return nil, qdmi.ErrNotSupported
+}
+func (d *fleetDevice) SetPulseImpl(string, []int, *qdmi.PulseImpl) error {
+	return qdmi.ErrNotSupported
+}
+
+func (d *fleetDevice) SubmitJob(payload []byte, format qdmi.ProgramFormat, shots int) (qdmi.Job, error) {
+	d.mu.Lock()
+	d.nextJob++
+	id := fmt.Sprintf("%s-%d", d.name, d.nextJob)
+	d.executed = append(d.executed, string(payload))
+	release := d.release
+	d.mu.Unlock()
+	j := qdmi.NewAsyncJob(id)
+	go func() {
+		if !j.Start() {
+			return
+		}
+		d.mu.Lock()
+		d.inflight++
+		if d.inflight > d.maxInflight {
+			d.maxInflight = d.inflight
+		}
+		d.mu.Unlock()
+		if release != nil {
+			select {
+			case <-release:
+			case <-j.Done(): // cancelled mid-flight
+			}
+		}
+		d.mu.Lock()
+		d.inflight--
+		d.mu.Unlock()
+		j.Finish(&qdmi.Result{Counts: map[uint64]int{0: shots}, Shots: shots})
+	}()
+	return j, nil
+}
+
+func (d *fleetDevice) ran() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]string(nil), d.executed...)
+}
+
+// fleetRig registers the given mock devices and builds a scheduler over
+// them, releasing blocked jobs and closing the scheduler at cleanup.
+func fleetRig(t *testing.T, devs ...*fleetDevice) *Scheduler {
+	t.Helper()
+	drv := qdmi.NewDriver()
+	for _, d := range devs {
+		if err := drv.RegisterDevice(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := New(drv.OpenSession())
+	t.Cleanup(func() {
+		for _, d := range devs {
+			if d.release != nil {
+				select {
+				case <-d.release:
+				default:
+					close(d.release)
+				}
+			}
+		}
+		s.Close()
+	})
+	return s
+}
+
+func poolSubmit(t *testing.T, s *Scheduler, ctx context.Context, pool, payload string) *Ticket {
+	t.Helper()
+	tk, err := s.SubmitCtx(ctx, Request{
+		Pool: pool, Payload: []byte(payload), Format: qdmi.FormatQIRBase, Shots: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tk
+}
+
+func TestSubmitUnknownTargetsAreTyped(t *testing.T) {
+	s := fleetRig(t, newFleetDevice("a"))
+	if _, err := s.SubmitCtx(context.Background(), Request{
+		Device: "ghost", Payload: []byte("x"), Format: qdmi.FormatQIRBase, Shots: 1,
+	}); !errors.Is(err, ErrNoSuchTarget) {
+		t.Fatalf("unknown device: err = %v, want ErrNoSuchTarget", err)
+	}
+	if _, err := s.SubmitCtx(context.Background(), Request{
+		Pool: "ghost-pool", Payload: []byte("x"), Format: qdmi.FormatQIRBase, Shots: 1,
+	}); !errors.Is(err, ErrNoSuchTarget) {
+		t.Fatalf("unknown pool: err = %v, want ErrNoSuchTarget", err)
+	}
+	// Exactly one of Device and Pool must be set.
+	if _, err := s.SubmitCtx(context.Background(), Request{
+		Payload: []byte("x"), Format: qdmi.FormatQIRBase, Shots: 1,
+	}); !errors.Is(err, qdmi.ErrInvalidArgument) {
+		t.Fatalf("no target: err = %v, want ErrInvalidArgument", err)
+	}
+	if _, err := s.SubmitCtx(context.Background(), Request{
+		Device: "a", Pool: "p", Payload: []byte("x"), Format: qdmi.FormatQIRBase, Shots: 1,
+	}); !errors.Is(err, qdmi.ErrInvalidArgument) {
+		t.Fatalf("two targets: err = %v, want ErrInvalidArgument", err)
+	}
+}
+
+func TestRegisterPoolValidation(t *testing.T) {
+	small := newFleetDevice("small")
+	small.numSites = 1
+	odd := newFleetDevice("odd")
+	odd.formats = []qdmi.ProgramFormat{qdmi.FormatMLIRPulse}
+	s := fleetRig(t, newFleetDevice("a"), newFleetDevice("b"), small, odd)
+
+	if err := s.RegisterPool(""); !errors.Is(err, qdmi.ErrInvalidArgument) {
+		t.Fatalf("empty name: %v", err)
+	}
+	if err := s.RegisterPool("empty"); !errors.Is(err, qdmi.ErrInvalidArgument) {
+		t.Fatalf("no members: %v", err)
+	}
+	if err := s.RegisterPool("p", "a", "ghost"); !errors.Is(err, ErrNoSuchTarget) {
+		t.Fatalf("unknown member: %v", err)
+	}
+	if err := s.RegisterPool("p", "a", "small"); !errors.Is(err, qdmi.ErrInvalidArgument) {
+		t.Fatalf("site-count mismatch accepted: %v", err)
+	}
+	if err := s.RegisterPool("p", "a", "odd"); !errors.Is(err, qdmi.ErrInvalidArgument) {
+		t.Fatalf("format mismatch accepted: %v", err)
+	}
+	if err := s.RegisterPool("p", "a", "a"); !errors.Is(err, qdmi.ErrInvalidArgument) {
+		t.Fatalf("duplicate member accepted: %v", err)
+	}
+	// Failed registrations must leave no trace: no device may be linked to
+	// a pool that was never created (a phantom link would make devices
+	// steal siblings of a nonexistent pool).
+	s.mu.Lock()
+	for name, d := range s.devices {
+		if len(d.pools) != 0 {
+			s.mu.Unlock()
+			t.Fatalf("failed registration left device %q linked to %d pool(s)", name, len(d.pools))
+		}
+	}
+	s.mu.Unlock()
+	if err := s.RegisterPool("p", "a", "b"); err != nil {
+		t.Fatalf("valid pool rejected: %v", err)
+	}
+	if err := s.RegisterPool("p", "a"); !errors.Is(err, qdmi.ErrInvalidArgument) {
+		t.Fatalf("duplicate pool accepted: %v", err)
+	}
+	members, err := s.PoolMembers("p")
+	if err != nil || len(members) != 2 || members[0] != "a" || members[1] != "b" {
+		t.Fatalf("members = %v, %v", members, err)
+	}
+	if _, err := s.PoolMembers("ghost"); !errors.Is(err, ErrNoSuchTarget) {
+		t.Fatalf("unknown pool members: %v", err)
+	}
+}
+
+func TestPoolPlacementCompletesAcrossMembers(t *testing.T) {
+	devs := []*fleetDevice{
+		newFleetDevice("d0"), newFleetDevice("d1"),
+		newFleetDevice("d2"), newFleetDevice("d3"),
+	}
+	s := fleetRig(t, devs...)
+	if err := s.RegisterPool("sims", "d0", "d1", "d2", "d3"); err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	tickets := make([]*Ticket, n)
+	for i := range tickets {
+		tickets[i] = poolSubmit(t, s, context.Background(), "sims", fmt.Sprintf("job-%02d", i))
+	}
+	for i, tk := range tickets {
+		if _, err := tk.Wait(context.Background()); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if tk.Device() == "" {
+			t.Fatalf("job %d has no placement device", i)
+		}
+	}
+	total := 0
+	for _, d := range devs {
+		total += len(d.ran())
+	}
+	if total != n {
+		t.Fatalf("fleet ran %d jobs, want %d", total, n)
+	}
+	st := s.Stats()
+	if st.Completed != n || len(st.Pools["sims"].Members) != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWorkStealingIdleSiblingTakesQueuedJob(t *testing.T) {
+	busy := newFleetDevice("busy")
+	busy.release = make(chan struct{})
+	idle := newFleetDevice("idle")
+	s := fleetRig(t, busy, idle)
+	if err := s.RegisterPool("pair", "busy", "idle"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy busy's single dispatch slot...
+	first, err := s.SubmitCtx(context.Background(), Request{
+		Device: "busy", Payload: []byte("first"), Format: qdmi.FormatQIRBase, Shots: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, first)
+
+	// ...then submit more device-targeted work to it. The idle sibling must
+	// steal and complete it while busy is still blocked.
+	second, err := s.SubmitCtx(context.Background(), Request{
+		Device: "busy", Payload: []byte("second"), Format: qdmi.FormatQIRBase, Shots: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := second.Wait(ctx); err != nil {
+		t.Fatalf("stolen job did not complete: %v", err)
+	}
+	if second.Device() != "idle" {
+		t.Fatalf("second ran on %q, want idle", second.Device())
+	}
+	if got := idle.ran(); len(got) != 1 || got[0] != "second" {
+		t.Fatalf("idle executed %v, want [second]", got)
+	}
+	st := s.Stats()
+	if st.Steals != 1 || st.Devices["idle"].Stolen != 1 {
+		t.Fatalf("steal stats = %+v", st)
+	}
+
+	close(busy.release)
+	if _, err := first.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundedQueueRejectsWithErrOverloaded(t *testing.T) {
+	dev := newFleetDevice("qpu")
+	dev.release = make(chan struct{})
+	s := fleetRig(t, dev)
+	s.SetMaxQueueDepth(2)
+
+	submitOne := func(payload string) (*Ticket, error) {
+		return s.SubmitCtx(context.Background(), Request{
+			Device: "qpu", Payload: []byte(payload), Format: qdmi.FormatQIRBase, Shots: 1,
+		})
+	}
+	first, err := submitOne("first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, first) // dispatched: not counted against queue depth
+	var queued []*Ticket
+	for i := 0; i < 2; i++ {
+		tk, err := submitOne(fmt.Sprintf("queued-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, tk)
+	}
+	if _, err := submitOne("overflow"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if st := s.Stats(); st.Rejected != 1 || st.Devices["qpu"].Depth != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Back off and retry once capacity frees up: the canonical caller loop.
+	close(dev.release)
+	if _, err := first.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tk, err := submitOne("retry")
+		if err == nil {
+			queued = append(queued, tk)
+			break
+		}
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("retry never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, tk := range queued {
+		if _, err := tk.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPoolQueueRejectsWithErrOverloaded(t *testing.T) {
+	dev := newFleetDevice("solo")
+	dev.release = make(chan struct{})
+	s := fleetRig(t, dev)
+	if err := s.RegisterPool("p", "solo"); err != nil {
+		t.Fatal(err)
+	}
+	s.SetMaxQueueDepth(1)
+	first := poolSubmit(t, s, context.Background(), "p", "first")
+	waitRunning(t, first)
+	poolSubmit(t, s, context.Background(), "p", "second") // fills the pool queue
+	if _, err := s.SubmitCtx(context.Background(), Request{
+		Pool: "p", Payload: []byte("overflow"), Format: qdmi.FormatQIRBase, Shots: 1,
+	}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+}
+
+func TestCancelPoolQueuedTicketBeforePlacement(t *testing.T) {
+	dev := newFleetDevice("solo")
+	dev.release = make(chan struct{})
+	s := fleetRig(t, dev)
+	if err := s.RegisterPool("p", "solo"); err != nil {
+		t.Fatal(err)
+	}
+	first := poolSubmit(t, s, context.Background(), "p", "first")
+	waitRunning(t, first)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	second := poolSubmit(t, s, ctx, "p", "second")
+	cancel()
+	res, err := second.Wait(context.Background())
+	if res != nil || !errors.Is(err, ErrCancelled) {
+		t.Fatalf("cancelled pool ticket: res=%v err=%v", res, err)
+	}
+	if second.Device() != "" {
+		t.Fatalf("cancelled ticket was placed on %q", second.Device())
+	}
+
+	close(dev.release)
+	if _, err := first.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The device only ever saw the first payload.
+	if got := dev.ran(); len(got) != 1 || got[0] != "first" {
+		t.Fatalf("device executed %v, want [first]", got)
+	}
+}
+
+func TestDeviceConcurrencyRunsJobsInParallel(t *testing.T) {
+	dev := newFleetDevice("sim")
+	dev.release = make(chan struct{})
+	s := fleetRig(t, dev)
+	if err := s.SetDeviceConcurrency("sim", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetDeviceConcurrency("ghost", 2); !errors.Is(err, ErrNoSuchTarget) {
+		t.Fatalf("unknown device concurrency: %v", err)
+	}
+	if err := s.SetDeviceConcurrency("sim", 0); !errors.Is(err, qdmi.ErrInvalidArgument) {
+		t.Fatalf("zero concurrency accepted: %v", err)
+	}
+
+	var tickets []*Ticket
+	for i := 0; i < 3; i++ {
+		tk, err := s.SubmitCtx(context.Background(), Request{
+			Device: "sim", Payload: []byte(fmt.Sprintf("j%d", i)), Format: qdmi.FormatQIRBase, Shots: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	// All three must be in flight at once: the device mock tracks peak
+	// concurrent executions.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		dev.mu.Lock()
+		peak := dev.maxInflight
+		dev.mu.Unlock()
+		if peak == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("peak concurrency %d, want 3", peak)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := s.Stats(); st.Devices["sim"].Slots != 3 || st.Devices["sim"].Inflight != 3 ||
+		st.Devices["sim"].Utilization != 1.0 {
+		t.Fatalf("stats = %+v", st.Devices["sim"])
+	}
+	close(dev.release)
+	for _, tk := range tickets {
+		if _, err := tk.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Lowering the slot count must retire workers without losing jobs.
+	if err := s.SetDeviceConcurrency("sim", 1); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := s.SubmitCtx(context.Background(), Request{
+		Device: "sim", Payload: []byte("after"), Format: qdmi.FormatQIRBase, Shots: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPriorityOrderAcrossPoolAndDeviceQueues(t *testing.T) {
+	dev := newFleetDevice("solo")
+	dev.release = make(chan struct{})
+	s := fleetRig(t, dev)
+	if err := s.RegisterPool("p", "solo"); err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.SubmitCtx(context.Background(), Request{
+		Device: "solo", Payload: []byte("first"), Format: qdmi.FormatQIRBase, Shots: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, first)
+	// Queue a low-priority device job, then a high-priority pool job: the
+	// worker must take the pool job first even though the device queue is
+	// its "own".
+	low, err := s.SubmitCtx(context.Background(), Request{
+		Device: "solo", Payload: []byte("low"), Format: qdmi.FormatQIRBase, Shots: 1, Priority: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := s.SubmitCtx(context.Background(), Request{
+		Pool: "p", Payload: []byte("high"), Format: qdmi.FormatQIRBase, Shots: 1, Priority: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(dev.release)
+	for _, tk := range []*Ticket{first, low, high} {
+		if _, err := tk.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	order := dev.ran()
+	if len(order) != 3 || order[1] != "high" || order[2] != "low" {
+		t.Fatalf("execution order = %v, want [first high low]", order)
+	}
+}

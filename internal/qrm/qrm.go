@@ -1,9 +1,20 @@
 // Package qrm implements the Quantum Resource Manager of Fig. 2: the
-// second-level scheduler that sits between the MQSS client and the devices.
-// Each device gets a priority queue and a dispatch worker (QPUs serialize
-// execution); a calibration hook lets the resource manager interleave
-// maintenance with user jobs — the paper's "resource-aware calibration
-// planning" (Section 2.1).
+// second-level scheduler that brokers a fleet of heterogeneous devices
+// behind one submission interface.
+//
+// Requests target either a single named device or a named pool of
+// interchangeable devices (see RegisterPool). Every device runs a
+// configurable number of dispatch workers (one by default — QPUs serialize
+// execution; simulators can run several in-flight jobs, see
+// SetDeviceConcurrency). Placement is pull-based: the first device with a
+// free slot takes the highest-priority compatible job, so pool work always
+// lands on a least-loaded member, and idle devices steal queued work from
+// busy pool siblings so a slow QPU never strands jobs while a sibling sits
+// idle. Admission control bounds per-target queue depth (SetMaxQueueDepth);
+// submissions beyond it fail fast with ErrOverloaded so callers can back
+// off. A calibration hook lets the resource manager interleave maintenance
+// with user jobs — the paper's "resource-aware calibration planning"
+// (Section 2.1).
 //
 // Submission is context-aware: every ticket is bound to the context it was
 // submitted under. Cancelling that context (or calling Ticket.Cancel)
@@ -27,12 +38,30 @@ import (
 // ticket; it aliases qdmi.ErrCancelled so errors.Is works across layers.
 var ErrCancelled = qdmi.ErrCancelled
 
+// ErrOverloaded is the sentinel wrapped into submission errors rejected by
+// admission control: the target's queue is at its configured depth limit.
+// Callers should back off and retry; the error crosses the remote wire
+// protocol, so errors.Is works against remote submissions too.
+var ErrOverloaded = errors.New("qrm: overloaded")
+
+// ErrNoSuchTarget is the sentinel wrapped into submission errors naming an
+// unknown device or pool; test with errors.Is.
+var ErrNoSuchTarget = errors.New("qrm: no such target")
+
 // Request describes one job submission.
 type Request struct {
-	Device  string
+	// Device names a single target device. Exactly one of Device and Pool
+	// must be set.
+	Device string
+	// Pool names a target device pool (see RegisterPool): the scheduler
+	// places the job on the least-loaded member.
+	Pool string
+	// Payload is the compiled exchange-format program.
 	Payload []byte
-	Format  qdmi.ProgramFormat
-	Shots   int
+	// Format identifies the payload encoding.
+	Format qdmi.ProgramFormat
+	// Shots is the number of measurement samples; it must be positive.
+	Shots int
 	// Priority orders dispatch: higher runs first; FIFO within a level.
 	Priority int
 	// Tag is an optional caller label carried through to the ticket
@@ -46,123 +75,6 @@ type Request struct {
 	MeasReturn readout.MeasReturn
 }
 
-// Ticket tracks a submitted request through the queue and device. It is the
-// scheduler's job handle: callers Wait on it with a context, poll Status,
-// or Cancel it.
-type Ticket struct {
-	id       int64
-	priority int
-	seq      int64 // FIFO tiebreaker
-	tag      string
-
-	// ctx is cancelled when the ticket is cancelled (explicitly or through
-	// the submit context) or reaches a terminal state; the dispatch worker
-	// waits on the device job under it.
-	ctx       context.Context
-	cancelCtx context.CancelFunc
-
-	mu     sync.Mutex
-	status qdmi.JobStatus
-	result *qdmi.Result
-	err    error
-	done   chan struct{} // closed when the ticket reaches a terminal state
-}
-
-func newTicket(ctx context.Context, id int64, prio int, seq int64, tag string) *Ticket {
-	tctx, tcancel := context.WithCancel(ctx)
-	t := &Ticket{
-		id: id, priority: prio, seq: seq, tag: tag,
-		ctx: tctx, cancelCtx: tcancel,
-		status: qdmi.JobQueued,
-		done:   make(chan struct{}),
-	}
-	// When the submit context (or an explicit Cancel) fires, resolve a
-	// still-queued ticket immediately so waiters unblock and the worker
-	// skips it. Running tickets are resolved by the worker.
-	context.AfterFunc(tctx, t.onCtxDone)
-	return t
-}
-
-// ID returns the scheduler-assigned job ID.
-func (t *Ticket) ID() int64 { return t.id }
-
-// Tag returns the caller label given at submission.
-func (t *Ticket) Tag() string { return t.tag }
-
-// Status returns the ticket's lifecycle state without blocking.
-func (t *Ticket) Status() qdmi.JobStatus {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.status
-}
-
-// Cancel requests cancellation: a queued ticket resolves immediately and
-// never reaches the device; a running ticket is aborted if the device job
-// supports it. Cancel is idempotent and safe after completion.
-func (t *Ticket) Cancel() { t.cancelCtx() }
-
-// Wait blocks until the ticket reaches a terminal state or ctx is
-// cancelled. A cancelled ctx abandons only this wait — the job keeps its
-// place in the queue — and Wait returns ctx.Err().
-func (t *Ticket) Wait(ctx context.Context) (*qdmi.Result, error) {
-	select {
-	case <-t.done:
-		t.mu.Lock()
-		defer t.mu.Unlock()
-		return t.result, t.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
-}
-
-// Done reports whether the job has finished without blocking.
-func (t *Ticket) Done() bool { return t.Status().Terminal() }
-
-// DoneCh returns a channel closed when the ticket reaches a terminal
-// state; use it to select over many tickets.
-func (t *Ticket) DoneCh() <-chan struct{} { return t.done }
-
-// onCtxDone resolves a still-queued ticket when its context fires.
-func (t *Ticket) onCtxDone() {
-	t.finish(nil, t.cancelErr(), qdmi.JobCancelled)
-}
-
-// cancelErr builds the cancellation error, attaching the context cause so
-// a blown deadline is distinguishable from an explicit cancel.
-func (t *Ticket) cancelErr() error {
-	if cause := context.Cause(t.ctx); cause != nil && !errors.Is(cause, context.Canceled) {
-		return fmt.Errorf("qrm: job %d: %w (%v)", t.id, ErrCancelled, cause)
-	}
-	return fmt.Errorf("qrm: job %d: %w", t.id, ErrCancelled)
-}
-
-// startRunning transitions queued → running; false means the ticket was
-// cancelled first and must not be dispatched.
-func (t *Ticket) startRunning() bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.status != qdmi.JobQueued {
-		return false
-	}
-	t.status = qdmi.JobRunning
-	return true
-}
-
-// finish records the terminal state once; later calls are no-ops. It also
-// releases the ticket's context resources.
-func (t *Ticket) finish(r *qdmi.Result, err error, status qdmi.JobStatus) bool {
-	t.mu.Lock()
-	if t.status.Terminal() {
-		t.mu.Unlock()
-		return false
-	}
-	t.result, t.err, t.status = r, err, status
-	close(t.done)
-	t.mu.Unlock()
-	t.cancelCtx()
-	return true
-}
-
 // queued pairs a ticket with its request.
 type queued struct {
 	ticket *Ticket
@@ -172,54 +84,64 @@ type queued struct {
 // jobHeap orders by (priority desc, seq asc).
 type jobHeap []*queued
 
-func (h jobHeap) Len() int { return len(h) }
-func (h jobHeap) Less(i, j int) bool {
-	if h[i].ticket.priority != h[j].ticket.priority {
-		return h[i].ticket.priority > h[j].ticket.priority
+func (h jobHeap) Len() int           { return len(h) }
+func (h jobHeap) Less(i, j int) bool { return jobLess(h[i], h[j]) }
+func (h jobHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)        { *h = append(*h, x.(*queued)) }
+func (h *jobHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// jobLess is the dispatch order: higher priority first, FIFO within a level.
+func jobLess(a, b *queued) bool {
+	if a.ticket.priority != b.ticket.priority {
+		return a.ticket.priority > b.ticket.priority
 	}
-	return h[i].ticket.seq < h[j].ticket.seq
+	return a.ticket.seq < b.ticket.seq
 }
-func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*queued)) }
-func (h *jobHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
 
 // MaintenanceHook runs device maintenance (calibration) before a user job
 // dispatches; the scheduler calls it with the job's target device.
 type MaintenanceHook func(dev qdmi.Device) error
 
-// Stats aggregates scheduler counters.
-type Stats struct {
-	Submitted int64
-	Completed int64
-	Failed    int64
-	Cancelled int64
-	// MaintenanceRuns counts hook invocations that did work.
-	MaintenanceRuns int64
-}
-
-// Scheduler is the QRM instance over a QDMI session.
+// Scheduler is the QRM instance over a QDMI session: a fleet scheduler
+// over per-device queues, named pools, and a work-stealing placement
+// engine. The zero value is not usable; construct with New.
 type Scheduler struct {
 	session *qdmi.Session
 
-	mu      sync.Mutex
-	queues  map[string]*deviceQueue
-	nextID  int64
-	nextSeq int64
-	stats   Stats
-	hook    MaintenanceHook
-	closed  bool
-}
+	mu sync.Mutex
+	// cond is the fleet-wide wakeup: workers wait here for new work and
+	// every submission Broadcasts. Waking all idle workers is O(devices ×
+	// slots) per submit, but only idle workers are parked here — a busy
+	// fleet wakes almost nobody — and steal eligibility crosses devices,
+	// so any narrower wake set would have to be computed per submission.
+	// Revisit with per-device conds if fleets grow past dozens of devices.
+	cond *sync.Cond
+	wg   sync.WaitGroup
 
-type deviceQueue struct {
-	name    string
-	heap    jobHeap
-	wake    chan struct{}
-	stopped chan struct{}
+	devices  map[string]*deviceState
+	pools    map[string]*poolState
+	nextID   int64
+	nextSeq  int64
+	maxDepth int // per-target queued-job bound; 0 = unbounded
+	hook     MaintenanceHook
+	closed   bool
+
+	// Fleet-wide counters (per-device counters live on deviceState).
+	n struct {
+		submitted, completed, failed, cancelled int64
+		rejected, steals, maintenanceRuns       int64
+	}
 }
 
 // New creates a scheduler over a QDMI session.
 func New(session *qdmi.Session) *Scheduler {
-	return &Scheduler{session: session, queues: map[string]*deviceQueue{}}
+	s := &Scheduler{
+		session: session,
+		devices: map[string]*deviceState{},
+		pools:   map[string]*poolState{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
 }
 
 // SetMaintenanceHook installs the calibration hook (nil disables).
@@ -227,13 +149,6 @@ func (s *Scheduler) SetMaintenanceHook(h MaintenanceHook) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.hook = h
-}
-
-// Stats returns a snapshot of the counters.
-func (s *Scheduler) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
 }
 
 // Submit enqueues a request detached from any context.
@@ -247,6 +162,10 @@ func (s *Scheduler) Submit(req Request) (*Ticket, error) {
 // SubmitCtx enqueues a request bound to ctx and returns its ticket.
 // Cancelling ctx cancels the ticket: queued work never dispatches, and
 // in-flight work is aborted where the device supports it.
+//
+// A request naming an unknown device or pool fails with ErrNoSuchTarget;
+// one arriving while the target's queue is at its depth limit fails with
+// ErrOverloaded (see SetMaxQueueDepth).
 func (s *Scheduler) SubmitCtx(ctx context.Context, req Request) (*Ticket, error) {
 	if req.Shots <= 0 {
 		return nil, errors.New("qrm: non-positive shots")
@@ -254,127 +173,208 @@ func (s *Scheduler) SubmitCtx(ctx context.Context, req Request) (*Ticket, error)
 	if len(req.Payload) == 0 {
 		return nil, errors.New("qrm: empty payload")
 	}
+	if (req.Device == "") == (req.Pool == "") {
+		return nil, fmt.Errorf("%w: request must target exactly one of Device or Pool", qdmi.ErrInvalidArgument)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("qrm: submit: %w", err)
 	}
-	// Resolve the device eagerly so unknown names fail at submit time.
-	if _, err := s.session.Device(req.Device); err != nil {
-		return nil, err
+	// Resolve a device target eagerly so unknown names fail at submit time.
+	if req.Device != "" {
+		if _, err := s.session.Device(req.Device); err != nil {
+			return nil, fmt.Errorf("%w: device %q", ErrNoSuchTarget, req.Device)
+		}
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil, errors.New("qrm: scheduler closed")
 	}
+	// Resolve the target queue and apply admission control before the
+	// ticket exists, so rejected work leaves no trace beyond the counter.
+	var target *jobHeap
+	if req.Pool != "" {
+		p, ok := s.pools[req.Pool]
+		if !ok {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: pool %q", ErrNoSuchTarget, req.Pool)
+		}
+		target = &p.heap
+	} else {
+		target = &s.ensureDeviceLocked(req.Device).heap
+	}
+	if s.maxDepth > 0 && target.Len() >= s.maxDepth {
+		s.n.rejected++
+		depth := target.Len()
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: target %q queue depth %d at limit %d",
+			ErrOverloaded, req.Device+req.Pool, depth, s.maxDepth)
+	}
 	s.nextID++
 	s.nextSeq++
 	t := newTicket(ctx, s.nextID, req.Priority, s.nextSeq, req.Tag)
-	q, ok := s.queues[req.Device]
-	if !ok {
-		q = &deviceQueue{name: req.Device, wake: make(chan struct{}, 1), stopped: make(chan struct{})}
-		s.queues[req.Device] = q
-		go s.worker(q)
-	}
-	heap.Push(&q.heap, &queued{ticket: t, req: req})
-	s.stats.Submitted++
+	heap.Push(target, &queued{ticket: t, req: req})
+	s.n.submitted++
+	s.cond.Broadcast() // any idle worker may be able to take or steal this
 	s.mu.Unlock()
-	select {
-	case q.wake <- struct{}{}:
-	default:
-	}
 	return t, nil
 }
 
-// worker drains one device's queue, serializing execution per QPU.
-func (s *Scheduler) worker(q *deviceQueue) {
-	defer close(q.stopped)
+// worker is one dispatch slot of a device: it drains the device's own
+// queue, the queues of pools the device belongs to, and — when all of
+// those are empty — steals queued work from pool siblings.
+func (s *Scheduler) worker(d *deviceState) {
+	defer s.wg.Done()
+	s.mu.Lock()
 	for {
-		s.mu.Lock()
-		if s.closed && q.heap.Len() == 0 {
+		if d.workers > d.slots {
+			// Concurrency was lowered: retire this surplus slot.
+			d.workers--
 			s.mu.Unlock()
 			return
 		}
-		var item *queued
-		if q.heap.Len() > 0 {
-			item = heap.Pop(&q.heap).(*queued)
+		item, stolen := s.takeLocked(d)
+		if item == nil {
+			if s.closed {
+				d.workers--
+				s.mu.Unlock()
+				return
+			}
+			s.cond.Wait()
+			continue
+		}
+		if stolen {
+			d.stolen++
+			s.n.steals++
+		}
+		d.inflight++
+		if d.inflight >= d.slots && d.heap.Len() > 0 {
+			// This device just saturated with work still queued on it:
+			// give idle pool siblings a chance to steal.
+			s.cond.Broadcast()
 		}
 		hook := s.hook
 		s.mu.Unlock()
+		s.runItem(d, item, hook)
+		s.mu.Lock()
+		d.inflight--
+	}
+}
 
-		if item == nil {
-			// Block for work; a closed wake channel falls through so the
-			// drain-and-exit check at the top of the loop runs.
-			<-q.wake
-			continue
-		}
-		if !item.ticket.startRunning() {
-			// Cancelled while queued: the ticket already resolved itself;
-			// the device never sees the job.
-			s.countCancelled()
-			continue
-		}
-		dev, err := s.session.Device(item.req.Device)
-		if err != nil {
-			s.fail(item, err)
-			continue
-		}
-		if hook != nil {
-			if err := hook(dev); err != nil {
-				s.fail(item, fmt.Errorf("qrm: maintenance: %w", err))
-				continue
+// takeLocked picks the next job for device d: the best-priority item across
+// d's own queue and its pools' queues, falling back to stealing the
+// best-priority item queued on a saturated pool sibling. Stealing only
+// targets siblings with no free dispatch slot: explicit device targeting is
+// honored while the device can still make progress, and overridden only
+// when work would otherwise strand behind a busy QPU. The boolean reports
+// a steal.
+func (s *Scheduler) takeLocked(d *deviceState) (*queued, bool) {
+	if h := bestSource(d.sources()); h != nil {
+		return heap.Pop(h).(*queued), false
+	}
+	var victims []*jobHeap
+	for _, p := range d.pools {
+		for _, sib := range p.members {
+			if sib != d && sib.inflight >= sib.slots {
+				victims = append(victims, &sib.heap)
 			}
-			s.mu.Lock()
-			s.stats.MaintenanceRuns++
-			s.mu.Unlock()
 		}
-		// A cancel that landed during maintenance still prevents dispatch.
-		if item.ticket.ctx.Err() != nil {
-			s.cancelled(item)
+	}
+	if h := bestSource(victims); h != nil {
+		return heap.Pop(h).(*queued), true
+	}
+	return nil, false
+}
+
+// bestSource returns the heap whose top item dispatches first, or nil if
+// every source is empty.
+func bestSource(sources []*jobHeap) *jobHeap {
+	var best *jobHeap
+	for _, h := range sources {
+		if h.Len() == 0 {
 			continue
 		}
-		job, err := submitToDevice(dev, item.req)
-		if err != nil {
-			s.fail(item, err)
-			continue
+		if best == nil || jobLess((*h)[0], (*best)[0]) {
+			best = h
 		}
-		st := job.Wait(item.ticket.ctx)
+	}
+	return best
+}
+
+// runItem executes one dequeued job on device d: maintenance hook, device
+// dispatch, and result/error/cancellation bookkeeping.
+func (s *Scheduler) runItem(d *deviceState, item *queued, hook MaintenanceHook) {
+	if !item.ticket.startRunning() {
+		// Cancelled while queued: the ticket already resolved itself; the
+		// device never sees the job.
+		s.countCancelled()
+		return
+	}
+	item.ticket.setDevice(d.name)
+	dev, err := s.session.Device(d.name)
+	if err != nil {
+		s.fail(item, err)
+		return
+	}
+	if hook != nil {
+		if err := hook(dev); err != nil {
+			s.fail(item, fmt.Errorf("qrm: maintenance: %w", err))
+			return
+		}
+		s.mu.Lock()
+		s.n.maintenanceRuns++
+		s.mu.Unlock()
+	}
+	// A cancel that landed during maintenance still prevents dispatch.
+	if item.ticket.ctx.Err() != nil {
+		s.cancelled(item)
+		return
+	}
+	job, err := submitToDevice(dev, item.req)
+	if err != nil {
+		s.fail(item, err)
+		return
+	}
+	s.mu.Lock()
+	d.dispatched++
+	s.mu.Unlock()
+	st := job.Wait(item.ticket.ctx)
+	if !st.Terminal() {
+		// The ticket was cancelled while the device job was in flight.
+		// Abort it where the device supports aborting running work;
+		// otherwise fall back to the queued-only cancel.
+		if rc, ok := job.(qdmi.RunningCanceller); ok {
+			_ = rc.CancelRunning()
+		} else {
+			_ = job.Cancel()
+		}
+		st = job.Status()
 		if !st.Terminal() {
-			// The ticket was cancelled while the device job was in flight.
-			// Abort it where the device supports aborting running work;
-			// otherwise fall back to the queued-only cancel.
-			if rc, ok := job.(qdmi.RunningCanceller); ok {
-				_ = rc.CancelRunning()
-			} else {
-				_ = job.Cancel()
-			}
-			st = job.Status()
-			if !st.Terminal() {
-				// The device cannot abort: resolve the ticket as cancelled
-				// and let the orphaned job finish unobserved.
-				s.cancelled(item)
-				continue
-			}
-		}
-		switch st {
-		case qdmi.JobCancelled:
+			// The device cannot abort: resolve the ticket as cancelled
+			// and let the orphaned job finish unobserved.
 			s.cancelled(item)
-		case qdmi.JobDone:
-			res, err := job.Result()
-			if err != nil {
-				s.fail(item, err)
-				continue
-			}
-			s.mu.Lock()
-			s.stats.Completed++
-			s.mu.Unlock()
-			item.ticket.finish(res, nil, qdmi.JobDone)
-		default: // JobFailed
-			_, err := job.Result()
-			if err == nil {
-				err = fmt.Errorf("qrm: job %d failed", item.ticket.id)
-			}
-			s.fail(item, err)
+			return
 		}
+	}
+	switch st {
+	case qdmi.JobCancelled:
+		s.cancelled(item)
+	case qdmi.JobDone:
+		res, err := job.Result()
+		if err != nil {
+			s.fail(item, err)
+			return
+		}
+		s.mu.Lock()
+		s.n.completed++
+		s.mu.Unlock()
+		item.ticket.finish(res, nil, qdmi.JobDone)
+	default: // JobFailed
+		_, err := job.Result()
+		if err == nil {
+			err = fmt.Errorf("qrm: job %d failed", item.ticket.id)
+		}
+		s.fail(item, err)
 	}
 }
 
@@ -389,14 +389,14 @@ func submitToDevice(dev qdmi.Device, req Request) (qdmi.Job, error) {
 	}
 	if req.MeasLevel != readout.LevelDiscriminated {
 		return nil, fmt.Errorf("%w: device %s cannot return %s measurement data",
-			qdmi.ErrNotSupported, req.Device, req.MeasLevel)
+			qdmi.ErrNotSupported, dev.Name(), req.MeasLevel)
 	}
 	return dev.SubmitJob(req.Payload, req.Format, req.Shots)
 }
 
 func (s *Scheduler) fail(item *queued, err error) {
 	s.mu.Lock()
-	s.stats.Failed++
+	s.n.failed++
 	s.mu.Unlock()
 	item.ticket.finish(nil, err, qdmi.JobFailed)
 }
@@ -408,7 +408,7 @@ func (s *Scheduler) cancelled(item *queued) {
 
 func (s *Scheduler) countCancelled() {
 	s.mu.Lock()
-	s.stats.Cancelled++
+	s.n.cancelled++
 	s.mu.Unlock()
 }
 
@@ -421,13 +421,7 @@ func (s *Scheduler) Close() {
 		return
 	}
 	s.closed = true
-	queues := make([]*deviceQueue, 0, len(s.queues))
-	for _, q := range s.queues {
-		queues = append(queues, q)
-	}
+	s.cond.Broadcast()
 	s.mu.Unlock()
-	for _, q := range queues {
-		close(q.wake)
-		<-q.stopped
-	}
+	s.wg.Wait()
 }

@@ -1,0 +1,145 @@
+package qrm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"mqsspulse/internal/qdmi"
+)
+
+// Ticket tracks a submitted request through the queue and device. It is the
+// scheduler's job handle: callers Wait on it with a context, poll Status,
+// or Cancel it.
+type Ticket struct {
+	id       int64
+	priority int
+	seq      int64 // FIFO tiebreaker
+	tag      string
+
+	// ctx is cancelled when the ticket is cancelled (explicitly or through
+	// the submit context) or reaches a terminal state; the dispatch worker
+	// waits on the device job under it.
+	ctx       context.Context
+	cancelCtx context.CancelFunc
+
+	mu     sync.Mutex
+	status qdmi.JobStatus
+	device string // set at dispatch: the device the job was placed on
+	result *qdmi.Result
+	err    error
+	done   chan struct{} // closed when the ticket reaches a terminal state
+}
+
+func newTicket(ctx context.Context, id int64, prio int, seq int64, tag string) *Ticket {
+	tctx, tcancel := context.WithCancel(ctx)
+	t := &Ticket{
+		id: id, priority: prio, seq: seq, tag: tag,
+		ctx: tctx, cancelCtx: tcancel,
+		status: qdmi.JobQueued,
+		done:   make(chan struct{}),
+	}
+	// When the submit context (or an explicit Cancel) fires, resolve a
+	// still-queued ticket immediately so waiters unblock and the worker
+	// skips it. Running tickets are resolved by the worker.
+	context.AfterFunc(tctx, t.onCtxDone)
+	return t
+}
+
+// ID returns the scheduler-assigned job ID.
+func (t *Ticket) ID() int64 { return t.id }
+
+// Tag returns the caller label given at submission.
+func (t *Ticket) Tag() string { return t.tag }
+
+// Status returns the ticket's lifecycle state without blocking.
+func (t *Ticket) Status() qdmi.JobStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.status
+}
+
+// Device returns the name of the device the job was placed on: empty while
+// the ticket is still queued, then the executing device — which, for
+// pool-targeted or stolen work, may differ from the device named in the
+// request.
+func (t *Ticket) Device() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.device
+}
+
+// setDevice records the placement decision at dispatch time.
+func (t *Ticket) setDevice(name string) {
+	t.mu.Lock()
+	t.device = name
+	t.mu.Unlock()
+}
+
+// Cancel requests cancellation: a queued ticket resolves immediately and
+// never reaches the device; a running ticket is aborted if the device job
+// supports it. Cancel is idempotent and safe after completion.
+func (t *Ticket) Cancel() { t.cancelCtx() }
+
+// Wait blocks until the ticket reaches a terminal state or ctx is
+// cancelled. A cancelled ctx abandons only this wait — the job keeps its
+// place in the queue — and Wait returns ctx.Err().
+func (t *Ticket) Wait(ctx context.Context) (*qdmi.Result, error) {
+	select {
+	case <-t.done:
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		return t.result, t.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Done reports whether the job has finished without blocking.
+func (t *Ticket) Done() bool { return t.Status().Terminal() }
+
+// DoneCh returns a channel closed when the ticket reaches a terminal
+// state; use it to select over many tickets.
+func (t *Ticket) DoneCh() <-chan struct{} { return t.done }
+
+// onCtxDone resolves a still-queued ticket when its context fires.
+func (t *Ticket) onCtxDone() {
+	t.finish(nil, t.cancelErr(), qdmi.JobCancelled)
+}
+
+// cancelErr builds the cancellation error, attaching the context cause so
+// a blown deadline is distinguishable from an explicit cancel.
+func (t *Ticket) cancelErr() error {
+	if cause := context.Cause(t.ctx); cause != nil && !errors.Is(cause, context.Canceled) {
+		return fmt.Errorf("qrm: job %d: %w (%v)", t.id, ErrCancelled, cause)
+	}
+	return fmt.Errorf("qrm: job %d: %w", t.id, ErrCancelled)
+}
+
+// startRunning transitions queued → running; false means the ticket was
+// cancelled first and must not be dispatched.
+func (t *Ticket) startRunning() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.status != qdmi.JobQueued {
+		return false
+	}
+	t.status = qdmi.JobRunning
+	return true
+}
+
+// finish records the terminal state once; later calls are no-ops. It also
+// releases the ticket's context resources.
+func (t *Ticket) finish(r *qdmi.Result, err error, status qdmi.JobStatus) bool {
+	t.mu.Lock()
+	if t.status.Terminal() {
+		t.mu.Unlock()
+		return false
+	}
+	t.result, t.err, t.status = r, err, status
+	close(t.done)
+	t.mu.Unlock()
+	t.cancelCtx()
+	return true
+}

@@ -1,0 +1,193 @@
+// Doclint fails the build when an exported identifier lacks a doc comment,
+// or when a package lacks a package comment. It is the repository's
+// stdlib-only stand-in for revive's exported-comment rule, wired into CI
+// next to go vet.
+//
+// Usage:
+//
+//	go run ./tools/doclint ./internal/... .
+//
+// Each argument is a package directory; a trailing /... walks the tree.
+// Test files (_test.go) are exempt. Within grouped declarations, a group
+// doc comment covers members that lack their own (the idiomatic style for
+// enum-like const blocks).
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint pkgdir [pkgdir...]  (trailing /... walks)")
+		os.Exit(2)
+	}
+	failures := 0
+	for _, arg := range os.Args[1:] {
+		for _, dir := range expand(arg) {
+			failures += lintDir(dir)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d missing doc comment(s)\n", failures)
+		os.Exit(1)
+	}
+}
+
+// expand resolves a /...-suffixed argument into every subdirectory that
+// contains Go files; a plain argument maps to itself.
+func expand(arg string) []string {
+	root, walk := strings.CutSuffix(arg, "/...")
+	if !walk {
+		return []string{arg}
+	}
+	var dirs []string
+	_ = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return nil
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// lintDir checks one package directory and returns the failure count.
+func lintDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+		return 1
+	}
+	failures := 0
+	report := func(pos token.Pos, format string, args ...any) {
+		failures++
+		fmt.Printf("%s: %s\n", fset.Position(pos), fmt.Sprintf(format, args...))
+	}
+	for _, pkg := range pkgs {
+		if !hasPackageDoc(pkg) {
+			for name := range pkg.Files {
+				report(pkg.Files[name].Package, "package %s lacks a package comment", pkg.Name)
+				break
+			}
+		}
+		for _, file := range pkg.Files {
+			lintFile(file, report)
+		}
+	}
+	return failures
+}
+
+// hasPackageDoc reports whether any file carries the package comment.
+func hasPackageDoc(pkg *ast.Package) bool {
+	for _, f := range pkg.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// lintFile walks a file's top-level declarations.
+func lintFile(file *ast.File, report func(token.Pos, string, ...any)) {
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			lintFunc(d, report)
+		case *ast.GenDecl:
+			lintGen(d, report)
+		}
+	}
+}
+
+// lintFunc requires a doc comment on exported functions and on exported
+// methods of exported receiver types.
+func lintFunc(d *ast.FuncDecl, report func(token.Pos, string, ...any)) {
+	if !d.Name.IsExported() || hasDoc(d.Doc) {
+		return
+	}
+	if d.Recv != nil {
+		recv := receiverTypeName(d.Recv)
+		if !ast.IsExported(recv) {
+			return // method unreachable outside the package
+		}
+		report(d.Pos(), "exported method %s.%s lacks a doc comment", recv, d.Name.Name)
+		return
+	}
+	report(d.Pos(), "exported function %s lacks a doc comment", d.Name.Name)
+}
+
+// receiverTypeName extracts the receiver's base type name.
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// lintGen checks type/const/var declarations: each exported name needs its
+// own doc comment or a doc comment on the enclosing group.
+func lintGen(d *ast.GenDecl, report func(token.Pos, string, ...any)) {
+	groupDoc := hasDoc(d.Doc)
+	for _, spec := range d.Specs {
+		switch sp := spec.(type) {
+		case *ast.TypeSpec:
+			if sp.Name.IsExported() && !hasDoc(sp.Doc) && !hasDoc(sp.Comment) && !groupDoc {
+				report(sp.Pos(), "exported type %s lacks a doc comment", sp.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if hasDoc(sp.Doc) || hasDoc(sp.Comment) || groupDoc {
+				continue
+			}
+			for _, name := range sp.Names {
+				if name.IsExported() {
+					report(sp.Pos(), "exported %s %s lacks a doc comment", d.Tok, name.Name)
+					break
+				}
+			}
+		}
+	}
+}
+
+func hasDoc(g *ast.CommentGroup) bool {
+	return g != nil && strings.TrimSpace(g.Text()) != ""
+}
