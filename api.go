@@ -87,6 +87,12 @@ var ErrOverloaded = qrm.ErrOverloaded
 // unknown device or pool; test with errors.Is.
 var ErrNoSuchTarget = qrm.ErrNoSuchTarget
 
+// ErrStaleCalibration is the sentinel wrapped into the failure of a job
+// whose payload was compiled against a calibration epoch the target device
+// has since left; recompile and resubmit. It crosses the remote wire
+// protocol, so errors.Is works against remote submissions too.
+var ErrStaleCalibration = qrm.ErrStaleCalibration
+
 // WithShots sets the number of measurement shots.
 func WithShots(n int) ExecOption { return qpi.WithShots(n) }
 
@@ -304,6 +310,9 @@ type (
 	SubmitOptions = client.SubmitOptions
 	// BatchResult pairs one batch entry's outcome with its error.
 	BatchResult = client.BatchResult
+	// CacheStats snapshots the client's lowering-cache counters (hits,
+	// misses, LRU evictions, calibration-epoch invalidations).
+	CacheStats = client.CacheStats
 	// Ticket tracks a queued job.
 	Ticket = qrm.Ticket
 	// Scheduler is the Quantum Resource Manager: the fleet scheduler
@@ -433,6 +442,12 @@ func RamseyCalibrate(dev CalibrationTarget, site int, probeHz float64, points, s
 
 // CalibrationPolicyFor derives a technology-appropriate cadence via QDMI.
 func CalibrationPolicyFor(dev Device) (CalibrationPolicy, error) { return calib.PolicyFor(dev) }
+
+// CalibrationEpoch queries a device's calibration epoch through QDMI: a
+// counter every calibration mutation increments, keying lowering-cache
+// invalidation and dispatch-time staleness checks. Devices predating the
+// property answer qdmi.ErrNotSupported.
+func CalibrationEpoch(dev Device) (int64, error) { return qdmi.QueryCalibrationEpoch(dev) }
 
 // RamseyErrorBenchmark measures frequency-drift-induced error: a resonant
 // sx–idle–sx sequence that lands in |1⟩ when calibration is fresh.

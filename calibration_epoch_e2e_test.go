@@ -1,0 +1,73 @@
+package mqsspulse_test
+
+import (
+	"context"
+	"testing"
+
+	mqsspulse "mqsspulse"
+)
+
+// TestStaleCalibrationRecompile is the end-to-end reproducer for the
+// stale-lowering-cache bug: compile and run a kernel, recalibrate the
+// device, run again. Before calibration epochs the second run replayed the
+// envelope baked at the old calibration (an X pulse at the old π
+// amplitude, P(1) ≈ 1 despite the halved table entry); with epochs the
+// cache invalidates and the recompiled payload reflects the new amplitude
+// (≈ π/2 rotation, P(1) ≈ 0.5). An unchanged device must keep hitting the
+// cache.
+func TestStaleCalibrationRecompile(t *testing.T) {
+	dev, err := mqsspulse.NewSuperconductingDevice("epoch-sc", 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack, err := mqsspulse.NewStack(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(stack.Close)
+
+	k := mqsspulse.NewCircuit("epoch-probe", 1, 1).X(0).Measure(0, 0)
+	if err := k.End(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	run := func() float64 {
+		t.Helper()
+		res, err := stack.Client.RunCtx(ctx, k, "epoch-sc", mqsspulse.SubmitOptions{Shots: 800})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Probability(1)
+	}
+
+	if p := run(); p < 0.9 {
+		t.Fatalf("freshly calibrated X pulse: P(1) = %g", p)
+	}
+	// Unchanged calibration: the second submission must hit the cache.
+	if p := run(); p < 0.9 {
+		t.Fatalf("cached X pulse: P(1) = %g", p)
+	}
+	if hits := stack.Client.CacheStats().Hits; hits < 1 {
+		t.Fatalf("unchanged device missed the cache: hits = %d", hits)
+	}
+
+	epochBefore, err := mqsspulse.CalibrationEpoch(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetCalibratedPiAmplitude(0, dev.CalibratedPiAmplitude(0)/2)
+	if epochAfter, _ := mqsspulse.CalibrationEpoch(dev); epochAfter != epochBefore+1 {
+		t.Fatalf("recalibration did not bump the epoch: %d → %d", epochBefore, epochAfter)
+	}
+
+	// The next run must recompile against the new calibration: the halved
+	// believed π amplitude now rotates by ≈ π/2. A stale cached payload
+	// would keep P(1) ≈ 1.
+	if p := run(); p < 0.2 || p > 0.8 {
+		t.Fatalf("run after recalibration replayed a stale envelope: P(1) = %g", p)
+	}
+	st := stack.Client.CacheStats()
+	if st.Invalidations < 1 {
+		t.Fatalf("recalibration did not invalidate the cached lowering: %+v", st)
+	}
+}

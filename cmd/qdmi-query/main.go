@@ -105,6 +105,9 @@ func runFleet(preset string, sites, n, jobs int) error {
 	}
 	fmt.Printf("\n  totals: submitted=%d completed=%d failed=%d cancelled=%d rejected=%d steals=%d\n",
 		st.Submitted, st.Completed, st.Failed, st.Cancelled, st.Rejected, st.Steals)
+	cs := stack.Client.CacheStats()
+	fmt.Printf("  lowering cache: hits=%d misses=%d evictions=%d invalidations=%d entries=%d/%d\n",
+		cs.Hits, cs.Misses, cs.Evictions, cs.Invalidations, cs.Entries, cs.Limit)
 	return nil
 }
 
@@ -147,6 +150,7 @@ func main() {
 		{"min pulse samples", qdmi.DevicePropMinPulseSamples},
 		{"max pulse samples", qdmi.DevicePropMaxPulseSamples},
 		{"max shots", qdmi.DevicePropMaxShots},
+		{"calibration epoch", qdmi.DevicePropCalibrationEpoch},
 	}
 	for _, dp := range devProps {
 		v, err := dev.QueryDeviceProperty(dp.p)

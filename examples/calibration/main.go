@@ -3,10 +3,14 @@
 // neutral-atom lasers on minutes, superconducting qubit frequencies over
 // tens of minutes to hours, trapped-ion gate strengths over hours — and a
 // calibration scheduler with technology-appropriate cadences keeps each
-// within spec while an uncalibrated twin degrades.
+// within spec while an uncalibrated twin degrades. The closing section
+// shows the compiler side of the story: calibration writebacks bump the
+// device's calibration epoch, invalidating cached lowerings so the next
+// submission recompiles against the fresh tables.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -76,4 +80,57 @@ func main() {
 			(maintained.CalibratedFrequency(0)-maintained.TrueFrequency(0))/1e3,
 			(neglected.CalibratedFrequency(0)-neglected.TrueFrequency(0))/1e3)
 	}
+	if err := epochDemo(seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// epochDemo shows calibration epochs driving recompilation: a cached
+// lowering survives resubmission of an unchanged kernel, a Rabi
+// calibration writeback bumps the epoch, and the next submission
+// invalidates the stale entry and recompiles against the new amplitude.
+func epochDemo(seed int64) error {
+	dev, err := mqsspulse.NewSuperconductingDevice("epoch-demo", 1, seed)
+	if err != nil {
+		return err
+	}
+	stack, err := mqsspulse.NewStack(dev)
+	if err != nil {
+		return err
+	}
+	defer stack.Close()
+
+	k := mqsspulse.NewCircuit("probe", 1, 1).X(0).Measure(0, 0)
+	if err := k.End(); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	run := func() error {
+		_, err := stack.Client.RunCtx(ctx, k, "epoch-demo", mqsspulse.SubmitOptions{Shots: 200})
+		return err
+	}
+
+	fmt.Println("=== calibration epochs: cached lowerings track recalibration ===")
+	for i := 0; i < 2; i++ {
+		if err := run(); err != nil {
+			return err
+		}
+	}
+	epoch, _ := mqsspulse.CalibrationEpoch(dev)
+	st := stack.Client.CacheStats()
+	fmt.Printf("  two runs at epoch %d: cache hits=%d misses=%d\n", epoch, st.Hits, st.Misses)
+
+	// Hours of drift, then a Rabi writeback: the epoch moves.
+	dev.AdvanceTime(4 * 3600)
+	if _, err := mqsspulse.RabiCalibrate(dev, 0, 12, 400); err != nil {
+		return err
+	}
+	epoch, _ = mqsspulse.CalibrationEpoch(dev)
+	if err := run(); err != nil {
+		return err
+	}
+	st = stack.Client.CacheStats()
+	fmt.Printf("  after Rabi calibration (epoch %d): invalidations=%d misses=%d — recompiled against the new amplitude\n",
+		epoch, st.Invalidations, st.Misses)
+	return nil
 }

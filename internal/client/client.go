@@ -21,8 +21,10 @@ package client
 
 import (
 	"bytes"
+	"container/list"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -39,6 +41,11 @@ import (
 	"mqsspulse/internal/readout"
 )
 
+// DefaultCacheEntries is the lowering-cache entry bound used until
+// SetCacheLimit overrides it. The cache is LRU: under churn past the bound
+// the least-recently-compiled kernels fall out first.
+const DefaultCacheEntries = 4096
+
 // Client routes finished kernels through compile → schedule → execute.
 type Client struct {
 	session *qdmi.Session
@@ -46,17 +53,43 @@ type Client struct {
 
 	mu sync.Mutex
 	// loweringCache memoizes compiled payloads keyed by (device, kernel
-	// fingerprint); ablation benchmarks toggle it.
-	loweringCache map[string]cacheEntry
+	// fingerprint); ablation benchmarks toggle it. It is a bounded LRU
+	// (cacheLimit entries; lruList front = most recently used), and every
+	// entry records the calibration epoch of the device it was compiled
+	// against: a lookup whose target has recalibrated since invalidates
+	// the entry instead of serving a stale payload.
+	loweringCache map[string]*list.Element
+	lruList       *list.List
+	cacheLimit    int
 	CacheEnabled  bool
-	cacheHits     int64
+	cacheStats    CacheStats
 }
 
 // cacheEntry stores the compiled payload together with its exchange
-// format, so cache hits never re-derive the format from payload bytes.
+// format (so cache hits never re-derive the format from payload bytes)
+// and the compile-time calibration epoch of the target device.
 type cacheEntry struct {
+	key     string
 	payload []byte
 	format  qdmi.ProgramFormat
+	epoch   int64
+}
+
+// CacheStats is a point-in-time snapshot of the lowering-cache counters.
+type CacheStats struct {
+	// Hits counts lookups served from the cache.
+	Hits int64
+	// Misses counts lookups that fell through to the JIT compiler.
+	Misses int64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int64
+	// Invalidations counts entries dropped because the target device's
+	// calibration epoch moved past the entry's compile-time epoch.
+	Invalidations int64
+	// Entries is the current entry count; Limit is the configured bound.
+	Entries int
+	// Limit is the configured maximum entry count.
+	Limit int
 }
 
 // New builds a client over a QDMI session with its own QRM scheduler.
@@ -64,7 +97,9 @@ func New(session *qdmi.Session) *Client {
 	return &Client{
 		session:       session,
 		qrm:           qrm.New(session),
-		loweringCache: map[string]cacheEntry{},
+		loweringCache: map[string]*list.Element{},
+		lruList:       list.New(),
+		cacheLimit:    DefaultCacheEntries,
 		CacheEnabled:  true,
 	}
 }
@@ -82,7 +117,46 @@ func (c *Client) Device(name string) (qdmi.Device, error) { return c.session.Dev
 func (c *Client) CacheHits() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.cacheHits
+	return c.cacheStats.Hits
+}
+
+// CacheStats snapshots the lowering-cache counters.
+func (c *Client) CacheStats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.cacheStats
+	st.Entries = c.lruList.Len()
+	st.Limit = c.cacheLimit
+	return st
+}
+
+// SetCacheLimit bounds the lowering cache to n entries (values below 1 are
+// clamped to 1), evicting least-recently-used entries immediately if the
+// cache is already past the new bound.
+func (c *Client) SetCacheLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cacheLimit = n
+	c.evictLocked()
+}
+
+// evictLocked drops LRU tail entries until the cache fits its bound.
+func (c *Client) evictLocked() {
+	for c.lruList.Len() > c.cacheLimit {
+		el := c.lruList.Back()
+		c.removeLocked(el)
+		c.cacheStats.Evictions++
+	}
+}
+
+// removeLocked unlinks one cache entry from both index and LRU list.
+func (c *Client) removeLocked(el *list.Element) {
+	entry := el.Value.(*cacheEntry)
+	delete(c.loweringCache, entry.key)
+	c.lruList.Remove(el)
 }
 
 // Close shuts down the scheduler.
@@ -131,37 +205,80 @@ func waveformDigest(k *qpi.Circuit) uint64 {
 // Compile lowers a kernel for a device, using the lowering cache when
 // enabled.
 func (c *Client) Compile(k *qpi.Circuit, device string) ([]byte, qdmi.ProgramFormat, error) {
-	return c.compile(k, device, false)
+	payload, format, _, err := c.compile(k, device, false)
+	return payload, format, err
 }
 
-func (c *Client) compile(k *qpi.Circuit, device string, bypassCache bool) ([]byte, qdmi.ProgramFormat, error) {
+// deviceEpoch reads a device's calibration epoch. Epoch-unaware devices
+// (ErrNotSupported) report zero, which disables downstream staleness
+// checks; any other failure — a device advertising the property but
+// answering it with the wrong type — propagates, because treating it as
+// epoch-unaware would silently drop every staleness protection.
+func deviceEpoch(dev qdmi.Device) (int64, error) {
+	epoch, err := qdmi.QueryCalibrationEpoch(dev)
+	if err != nil {
+		if errors.Is(err, qdmi.ErrNotSupported) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return epoch, nil
+}
+
+// compile lowers a kernel and returns the payload, its exchange format,
+// and the calibration epoch it was compiled against.
+func (c *Client) compile(k *qpi.Circuit, device string, bypassCache bool) ([]byte, qdmi.ProgramFormat, int64, error) {
 	dev, err := c.session.Device(device)
 	if err != nil {
-		return nil, "", err
+		return nil, "", 0, err
+	}
+	// The epoch is read before any lowering query: if a recalibration
+	// lands mid-compile the recorded epoch is already superseded, so the
+	// dispatch-time check (or the next cache lookup) forces a recompile —
+	// the race can only err toward recompiling, never toward staleness.
+	epoch, err := deviceEpoch(dev)
+	if err != nil {
+		return nil, "", 0, err
 	}
 	useCache := c.CacheEnabled && !bypassCache
 	key := ""
 	if useCache {
 		key = fingerprint(k, device)
 		c.mu.Lock()
-		if entry, ok := c.loweringCache[key]; ok {
-			c.cacheHits++
-			c.mu.Unlock()
-			return entry.payload, entry.format, nil
+		if el, ok := c.loweringCache[key]; ok {
+			entry := el.Value.(*cacheEntry)
+			if entry.epoch == epoch {
+				c.cacheStats.Hits++
+				c.lruList.MoveToFront(el)
+				c.mu.Unlock()
+				return entry.payload, entry.format, entry.epoch, nil
+			}
+			// Compiled against a calibration the device has left.
+			c.removeLocked(el)
+			c.cacheStats.Invalidations++
 		}
+		c.cacheStats.Misses++
 		c.mu.Unlock()
 	}
 	res, err := compiler.Compile(k, dev)
 	if err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
 	format := compiler.FormatFor(res.QIR)
 	if useCache {
 		c.mu.Lock()
-		c.loweringCache[key] = cacheEntry{payload: res.Payload, format: format}
+		if el, ok := c.loweringCache[key]; ok {
+			// A concurrent compile of the same kernel won the race; keep
+			// its entry and just refresh recency.
+			c.lruList.MoveToFront(el)
+		} else {
+			entry := &cacheEntry{key: key, payload: res.Payload, format: format, epoch: epoch}
+			c.loweringCache[key] = c.lruList.PushFront(entry)
+			c.evictLocked()
+		}
 		c.mu.Unlock()
 	}
-	return res.Payload, format, nil
+	return res.Payload, format, epoch, nil
 }
 
 // containsPulse reports whether a QIR payload carries the pulse profile
@@ -186,6 +303,13 @@ type SubmitOptions struct {
 	Pool string
 	// BypassCache skips the lowering cache for this submission.
 	BypassCache bool
+	// CalibrationEpoch declares the calibration epoch a precompiled
+	// payload was built against; it is only consulted by the raw-payload
+	// remote path (RemoteAdapter.SubmitPayloadCtx), where the caller did
+	// the compiling. Kernel submissions through the client derive the
+	// epoch from their own compile step and ignore this field. Zero skips
+	// the server's dispatch-time staleness check.
+	CalibrationEpoch int64
 	// MeasLevel selects the measurement level (discriminated counts by
 	// default; kerneled/raw return IQ acquisition records).
 	MeasLevel readout.MeasLevel
@@ -241,7 +365,7 @@ func (c *Client) SubmitCtx(ctx context.Context, k *qpi.Circuit, device string, o
 	if err != nil {
 		return nil, err
 	}
-	payload, format, err := c.compile(k, target, opts.BypassCache)
+	payload, format, epoch, err := c.compile(k, target, opts.BypassCache)
 	if err != nil {
 		return nil, err
 	}
@@ -249,6 +373,7 @@ func (c *Client) SubmitCtx(ctx context.Context, k *qpi.Circuit, device string, o
 		Device: device, Payload: payload, Format: format,
 		Shots: opts.Shots, Priority: opts.Priority, Tag: opts.Tag,
 		MeasLevel: opts.MeasLevel, MeasReturn: opts.MeasReturn,
+		CalibrationEpoch: epoch, CompiledFor: target,
 	}
 	if opts.Pool != "" {
 		req.Device, req.Pool = "", opts.Pool

@@ -38,6 +38,11 @@ type remoteRequest struct {
 	// discriminated counts (legacy clients).
 	MeasLevel  string `json:"meas_level,omitempty"`
 	MeasReturn string `json:"meas_return,omitempty"`
+	// CalibrationEpoch is the calibration epoch the payload was compiled
+	// against; the server rejects the job with a stale_calibration error
+	// if the target has recalibrated past it. Zero (legacy clients)
+	// disables the check.
+	CalibrationEpoch int64 `json:"calibration_epoch,omitempty"`
 }
 
 // remoteResponse is the wire form of a completed job.
@@ -213,20 +218,28 @@ func (s *Server) handle(req *remoteRequest) remoteResponse {
 		return remoteResponse{Error: err.Error()}
 	}
 	device := req.Device
+	compiledFor := ""
 	if req.Pool != "" {
-		// Pool targeting wins, mirroring Client.SubmitCtx.
+		// Pool targeting wins, mirroring Client.SubmitCtx — including the
+		// compile-target convention: a pool payload's epoch refers to the
+		// deterministic representative member.
 		device = ""
+		if members, merr := s.client.qrm.PoolMembers(req.Pool); merr == nil {
+			compiledFor = members[0]
+		}
 	}
 	tk, err := s.client.qrm.SubmitCtx(ctx, qrm.Request{
-		Device:     device,
-		Pool:       req.Pool,
-		Payload:    []byte(req.Payload),
-		Format:     format,
-		Shots:      req.Shots,
-		Priority:   req.Priority,
-		Tag:        req.Tag,
-		MeasLevel:  level,
-		MeasReturn: ret,
+		Device:           device,
+		Pool:             req.Pool,
+		Payload:          []byte(req.Payload),
+		Format:           format,
+		Shots:            req.Shots,
+		Priority:         req.Priority,
+		Tag:              req.Tag,
+		MeasLevel:        level,
+		MeasReturn:       ret,
+		CalibrationEpoch: req.CalibrationEpoch,
+		CompiledFor:      compiledFor,
 	})
 	if err != nil {
 		return remoteResponse{Error: err.Error(), ErrorKind: errorKind(err)}
@@ -277,6 +290,8 @@ func errorKind(err error) string {
 		return "overloaded"
 	case errors.Is(err, qrm.ErrNoSuchTarget):
 		return "no_such_target"
+	case errors.Is(err, qrm.ErrStaleCalibration):
+		return "stale_calibration"
 	default:
 		return ""
 	}
@@ -289,6 +304,8 @@ func errorFromWire(kind, msg string) error {
 		return fmt.Errorf("client: remote: %w: %s", qrm.ErrOverloaded, msg)
 	case "no_such_target":
 		return fmt.Errorf("client: remote: %w: %s", qrm.ErrNoSuchTarget, msg)
+	case "stale_calibration":
+		return fmt.Errorf("client: remote: %w: %s", qrm.ErrStaleCalibration, msg)
 	default:
 		return fmt.Errorf("client: remote: %s", msg)
 	}
@@ -367,6 +384,7 @@ func (r *RemoteAdapter) SubmitPayloadCtx(ctx context.Context, device string, pay
 	req := remoteRequest{
 		Device: device, Pool: opts.Pool, Format: string(format), Payload: string(payload),
 		Shots: opts.Shots, Priority: opts.Priority, Tag: opts.Tag,
+		CalibrationEpoch: opts.CalibrationEpoch,
 	}
 	if opts.MeasLevel != readout.LevelDiscriminated {
 		req.MeasLevel = opts.MeasLevel.String()

@@ -339,7 +339,7 @@ func TestPipelinePassList(t *testing.T) {
 	pm := passes.DefaultPipeline()
 	names := pm.Passes()
 	want := []string{"verify", "gate-to-pulse-lowering", "canonicalize",
-		"dead-waveform-elim", "legalize-hardware-constraints"}
+		"dead-waveform-elim", "legalize-hardware-constraints", "verify-calibration"}
 	if len(names) != len(want) {
 		t.Fatalf("pipeline = %v", names)
 	}

@@ -36,7 +36,12 @@ type SimDevice struct {
 	// readout-calibration routine writes measured values back here.
 	calibReadoutFid []float64
 	customPulses    map[string]*qdmi.PulseImpl
-	nextJob         int
+	// calibEpoch implements the qdmi.DevicePropCalibrationEpoch bump
+	// contract: every calibration mutation (the four setters below and
+	// SetPulseImpl) increments it, invalidating payloads compiled against
+	// the previous calibration.
+	calibEpoch int64
+	nextJob    int
 	// jobOverhead models fixed control-electronics wall-clock per job
 	// (arming, waveform upload, readout transfer); zero disables it.
 	jobOverhead time.Duration
@@ -79,6 +84,7 @@ func New(cfg Config) (*SimDevice, error) {
 		drift:        newDriftState(&cfg),
 		customPulses: map[string]*qdmi.PulseImpl{},
 		couplePort:   map[[2]int]string{},
+		calibEpoch:   1, // a fresh device is at its first calibration
 	}
 	for i, s := range cfg.Sites {
 		if s.Dim < 2 {
@@ -215,12 +221,21 @@ func (d *SimDevice) CalibratedFrequency(site int) float64 {
 	return d.calibFreqHz[site]
 }
 
+// CalibrationEpoch returns the device's current calibration epoch (the
+// value QDMI reports through DevicePropCalibrationEpoch).
+func (d *SimDevice) CalibrationEpoch() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.calibEpoch
+}
+
 // SetCalibratedFrequency updates the calibration table (what Ramsey-style
 // routines write back).
 func (d *SimDevice) SetCalibratedFrequency(site int, hz float64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.calibFreqHz[site] = hz
+	d.calibEpoch++
 }
 
 // trueReadoutFidelity returns the physical per-site assignment fidelity:
@@ -246,6 +261,7 @@ func (d *SimDevice) SetCalibratedReadoutFidelity(site int, f float64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.calibReadoutFid[site] = f
+	d.calibEpoch++
 }
 
 // CalibratedPiAmplitude returns the believed full-π pulse amplitude.
@@ -261,6 +277,7 @@ func (d *SimDevice) SetCalibratedPiAmplitude(site int, amp float64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.calibPiAmp[site] = amp
+	d.calibEpoch++
 }
 
 // QueryDeviceProperty implements qdmi.Device.
@@ -295,6 +312,8 @@ func (d *SimDevice) QueryDeviceProperty(p qdmi.DeviceProperty) (any, error) {
 		return d.cfg.MinSamples, nil
 	case qdmi.DevicePropMaxPulseSamples:
 		return d.cfg.MaxSamples, nil
+	case qdmi.DevicePropCalibrationEpoch:
+		return d.CalibrationEpoch(), nil
 	default:
 		return nil, qdmi.ErrNotSupported
 	}
@@ -538,6 +557,9 @@ func (d *SimDevice) SetPulseImpl(op string, sites []int, impl *qdmi.PulseImpl) e
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.customPulses[implKey(op, sites)] = impl
+	// Installing or overriding an implementation changes what DefaultPulse
+	// answers, so it participates in the epoch bump contract.
+	d.calibEpoch++
 	return nil
 }
 

@@ -68,8 +68,8 @@ func TestL2MLIRShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// parse + verify + 5 pipeline passes.
-	if len(tab.Rows) != 7 {
+	// parse + verify + 6 pipeline passes.
+	if len(tab.Rows) != 8 {
 		t.Fatalf("rows = %d: %v", len(tab.Rows), tab.Rows)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"mqsspulse/internal/mlir"
 	"mqsspulse/internal/qdmi"
@@ -100,8 +101,15 @@ func (l *lowerer) lowerSequence(seq *mlir.Sequence) error {
 			framePort[a.Name] = seq.ArgPorts[i]
 		}
 	}
+	// Candidate scans walk frame args in sorted-name order: when several
+	// args qualify (two frames on one port) the choice must be byte-stable
+	// run to run — the lowering cache, the 50×-determinism contract, and
+	// the remote calibration-epoch check all assume identical payloads for
+	// identical inputs, and Go map iteration order would break that.
+	frameNames := sortedKeys(framePort)
 	frameForSite := func(site int) (mlir.Value, error) {
-		for name, port := range framePort {
+		for _, name := range frameNames {
+			port := framePort[name]
 			if s, ok := l.portSite[port]; ok && s == site {
 				if kindOfPort(l.dev, port) == "drive" {
 					return mlir.Ref(name), nil
@@ -118,7 +126,7 @@ func (l *lowerer) lowerSequence(seq *mlir.Sequence) error {
 			out = append(out, op)
 			continue
 		}
-		ops, err := l.lowerGate(seq, framePort, frameForSite, g)
+		ops, err := l.lowerGate(seq, framePort, frameNames, frameForSite, g)
 		if err != nil {
 			return fmt.Errorf("lowering %s: %w", g.OpName(), err)
 		}
@@ -127,6 +135,16 @@ func (l *lowerer) lowerSequence(seq *mlir.Sequence) error {
 	}
 	seq.Ops = out
 	return nil
+}
+
+// sortedKeys returns a map's keys in sorted order, for deterministic scans.
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func kindOfPort(dev qdmi.Device, portID string) string {
@@ -157,13 +175,15 @@ func (l *lowerer) xEnvelope(site int) (*waveform.Waveform, error) {
 // rotation emits the ops for a rotation of `angle` about the equatorial
 // axis at `axisPhase` on the frame of `site`.
 func (l *lowerer) rotation(frame mlir.Value, site int, angle, axisPhase float64) ([]mlir.Op, error) {
-	if angle == 0 {
-		return nil, nil
-	}
 	if angle < 0 {
 		angle, axisPhase = -angle, axisPhase+math.Pi
 	}
+	// Normalize before the no-op test: rx(2π) is a full rotation, not a
+	// zero-amplitude play that still consumes schedule time.
 	angle = math.Mod(angle, 2*math.Pi)
+	if angle == 0 {
+		return nil, nil
+	}
 	if angle > math.Pi {
 		angle, axisPhase = 2*math.Pi-angle, axisPhase+math.Pi
 	}
@@ -187,7 +207,7 @@ func (l *lowerer) rotation(frame mlir.Value, site int, angle, axisPhase float64)
 	return ops, nil
 }
 
-func (l *lowerer) lowerGate(seq *mlir.Sequence, framePort map[string]string,
+func (l *lowerer) lowerGate(seq *mlir.Sequence, framePort map[string]string, frameNames []string,
 	frameForSite func(int) (mlir.Value, error), g *mlir.StandardGateOp) ([]mlir.Op, error) {
 
 	siteOf := func(fv mlir.Value) (int, error) {
@@ -275,13 +295,15 @@ func (l *lowerer) lowerGate(seq *mlir.Sequence, framePort map[string]string,
 		if !ok {
 			return nil, fmt.Errorf("no coupler between sites %d and %d", sa, sb)
 		}
-		// Find the coupler frame arg.
+		// Find the coupler frame arg (sorted scan: deterministic when
+		// several frame args bind the coupler port).
 		var couplerFrame mlir.Value
 		found := false
-		for name, port := range framePort {
-			if port == couplerPort {
+		for _, name := range frameNames {
+			if framePort[name] == couplerPort {
 				couplerFrame = mlir.Ref(name)
 				found = true
+				break
 			}
 		}
 		if !found {
@@ -314,11 +336,11 @@ func (l *lowerer) lowerGate(seq *mlir.Sequence, framePort map[string]string,
 			return czOps, nil
 		}
 		// cx = (I⊗H)·CZ·(I⊗H): lower the H sandwich on the target frame.
-		hPre, err := l.lowerGate(seq, framePort, frameForSite, &mlir.StandardGateOp{Gate: "h", Frames: []mlir.Value{g.Frames[1]}})
+		hPre, err := l.lowerGate(seq, framePort, frameNames, frameForSite, &mlir.StandardGateOp{Gate: "h", Frames: []mlir.Value{g.Frames[1]}})
 		if err != nil {
 			return nil, err
 		}
-		hPost, err := l.lowerGate(seq, framePort, frameForSite, &mlir.StandardGateOp{Gate: "h", Frames: []mlir.Value{g.Frames[1]}})
+		hPost, err := l.lowerGate(seq, framePort, frameNames, frameForSite, &mlir.StandardGateOp{Gate: "h", Frames: []mlir.Value{g.Frames[1]}})
 		if err != nil {
 			return nil, err
 		}

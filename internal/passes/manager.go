@@ -98,7 +98,8 @@ func (pm *Manager) Run(m *mlir.Module, ctx *Context) error {
 
 // DefaultPipeline assembles the standard MQSS pulse pipeline: verify,
 // lower gates using the target's calibration, canonicalize frame ops,
-// eliminate dead waveforms, and legalize against hardware constraints.
+// eliminate dead waveforms, legalize against hardware constraints, and
+// re-verify the lowered program against the target's calibrated limits.
 func DefaultPipeline() *Manager {
 	return NewManager(
 		VerifyPass{},
@@ -106,6 +107,7 @@ func DefaultPipeline() *Manager {
 		CanonicalizePass{},
 		DeadWaveformElimPass{},
 		LegalizePass{},
+		VerifyCalibrationPass{},
 	)
 }
 

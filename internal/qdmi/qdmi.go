@@ -51,6 +51,16 @@ const (
 	DevicePropMinPulseSamples   // int
 	DevicePropMaxPulseSamples   // int
 	DevicePropMaxWaveformMemory // int, total samples uploadable per job
+	// DevicePropCalibrationEpoch is an int64 counter identifying the
+	// device's current calibration state. The bump contract: every
+	// calibration mutation — frequency, amplitude, or readout-fidelity
+	// writebacks, and installed or overridden pulse implementations —
+	// increments it, so two equal epochs read from one device guarantee
+	// identical answers to every calibration-dependent query (DefaultPulse,
+	// SitePropFrequencyHz, ...) in between. Compilers key lowering caches
+	// on it and schedulers verify it at dispatch; devices predating the
+	// property answer ErrNotSupported and opt out of staleness checking.
+	DevicePropCalibrationEpoch // int64
 )
 
 // SiteProperty enumerates per-site queries (a site is a physical or logical
@@ -364,6 +374,22 @@ func QueryFloat(dev Device, p DeviceProperty) (float64, error) {
 		return 0, fmt.Errorf("%w: property %d is %T, not float64", ErrInvalidArgument, p, v)
 	}
 	return f, nil
+}
+
+// QueryCalibrationEpoch returns the device's calibration epoch (see
+// DevicePropCalibrationEpoch). Devices without the property answer
+// ErrNotSupported; callers should then skip staleness checks rather than
+// assume an epoch of zero matches anything.
+func QueryCalibrationEpoch(dev Device) (int64, error) {
+	v, err := dev.QueryDeviceProperty(DevicePropCalibrationEpoch)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.(int64)
+	if !ok {
+		return 0, fmt.Errorf("%w: calibration epoch property is %T, not int64", ErrInvalidArgument, v)
+	}
+	return n, nil
 }
 
 // QueryPulseSupport returns the device's advertised pulse access level.

@@ -48,6 +48,14 @@ var ErrOverloaded = errors.New("qrm: overloaded")
 // unknown device or pool; test with errors.Is.
 var ErrNoSuchTarget = errors.New("qrm: no such target")
 
+// ErrStaleCalibration is the sentinel wrapped into the failure of a job
+// whose payload was compiled against a calibration epoch the target device
+// has since left (see qdmi.DevicePropCalibrationEpoch): the scheduler
+// refuses to ship pulses baked from a superseded calibration table.
+// Callers should recompile and resubmit; the error crosses the remote wire
+// protocol, so errors.Is works against remote submissions too.
+var ErrStaleCalibration = errors.New("qrm: stale calibration")
+
 // Request describes one job submission.
 type Request struct {
 	// Device names a single target device. Exactly one of Device and Pool
@@ -73,6 +81,15 @@ type Request struct {
 	MeasLevel readout.MeasLevel
 	// MeasReturn selects per-shot or shot-averaged acquisition records.
 	MeasReturn readout.MeasReturn
+	// CalibrationEpoch is the calibration epoch of the device the payload
+	// was compiled against; zero disables the dispatch-time staleness
+	// check (payloads from epoch-unaware compilers or devices).
+	CalibrationEpoch int64
+	// CompiledFor names the device the payload was compiled against — for
+	// pool submissions the deterministic representative member, which may
+	// differ from the device the job is placed on. Empty means the
+	// dispatch device itself.
+	CompiledFor string
 }
 
 // queued pairs a ticket with its request.
@@ -316,6 +333,17 @@ func (s *Scheduler) runItem(d *deviceState, item *queued, hook MaintenanceHook) 
 		s.fail(item, err)
 		return
 	}
+	// Staleness gate: a payload compiled at epoch N must not dispatch once
+	// the device it was compiled against has recalibrated past N — a job
+	// can sit queued across a recalibration. The gate runs before the
+	// maintenance hook on purpose: hook-driven calibration is the
+	// scheduler's own interleaved maintenance, and failing the very job
+	// that triggered it would deadlock the pattern; its epoch bump takes
+	// effect for every subsequently compiled payload instead.
+	if err := s.checkEpoch(d.name, item.req); err != nil {
+		s.fail(item, err)
+		return
+	}
 	if hook != nil {
 		if err := hook(dev); err != nil {
 			s.fail(item, fmt.Errorf("qrm: maintenance: %w", err))
@@ -376,6 +404,40 @@ func (s *Scheduler) runItem(d *deviceState, item *queued, hook MaintenanceHook) 
 		}
 		s.fail(item, err)
 	}
+}
+
+// checkEpoch verifies at dispatch time that the device the payload was
+// compiled against still sits at the compile-time calibration epoch.
+// Requests without an epoch, and compile targets without the epoch
+// property, skip the check.
+func (s *Scheduler) checkEpoch(dispatchDevice string, req Request) error {
+	if req.CalibrationEpoch == 0 {
+		return nil
+	}
+	target := req.CompiledFor
+	if target == "" {
+		target = dispatchDevice
+	}
+	dev, err := s.session.Device(target)
+	if err != nil {
+		// The compile target vanished from the registry; the dispatch
+		// device decides the job's fate on its own.
+		return nil
+	}
+	epoch, err := qdmi.QueryCalibrationEpoch(dev)
+	if err != nil {
+		if errors.Is(err, qdmi.ErrNotSupported) {
+			return nil // epoch-unaware device: no staleness contract to enforce
+		}
+		// The device advertises the property but cannot answer it sanely;
+		// skipping the check here would silently drop staleness protection.
+		return fmt.Errorf("qrm: calibration epoch of %q: %w", target, err)
+	}
+	if epoch != req.CalibrationEpoch {
+		return fmt.Errorf("%w: payload compiled at calibration epoch %d, device %q is now at %d",
+			ErrStaleCalibration, req.CalibrationEpoch, target, epoch)
+	}
+	return nil
 }
 
 // submitToDevice dispatches a request, routing through the acquisition
