@@ -24,7 +24,7 @@ func main() {
 	flag.Parse()
 
 	ids := []string{"EXP-F1", "EXP-F2", "EXP-F3", "EXP-L1", "EXP-L2", "EXP-L3",
-		"EXP-C1", "EXP-C2", "EXP-C3"}
+		"EXP-C1", "EXP-C2", "EXP-C3", "EXP-P1"}
 	if *list {
 		for _, id := range ids {
 			fmt.Println(id)

@@ -342,8 +342,9 @@ func (d *SimDevice) readoutModel(opts qdmi.JobOptions) *simq.ReadoutModel {
 // runJob executes a payload on the simulated hardware. SimDevice jobs
 // support the qdmi.RunningCanceller capability: the pipeline polls
 // job.Aborted between stages and the dynamics engine polls it between
-// integration segments, so a CancelRunning lands promptly and the result of
-// an aborted job is discarded.
+// integration segments and every ~1024 driven samples inside them, so a
+// CancelRunning lands promptly — even mid-way through a single long
+// Play — and the result of an aborted job is discarded.
 func (d *SimDevice) runJob(job *qdmi.AsyncJob, mod *qir.Module, binding *qir.DeviceBinding, opts qdmi.JobOptions, seed int64) {
 	if !job.Start() {
 		return

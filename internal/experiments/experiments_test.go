@@ -86,7 +86,7 @@ func TestL3QIRShape(t *testing.T) {
 
 func TestByIDResolvesAll(t *testing.T) {
 	for _, id := range []string{"EXP-F1", "EXP-F2", "EXP-F3", "EXP-L1", "EXP-L2",
-		"EXP-L3", "EXP-C1", "EXP-C2", "EXP-C3"} {
+		"EXP-L3", "EXP-C1", "EXP-C2", "EXP-C3", "EXP-P1"} {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("%s unresolvable", id)
 		}

@@ -13,6 +13,11 @@ func EigenSym(m *Matrix, tol float64) (vals []float64, vecs *Matrix, err error) 
 	if !m.IsSquare() {
 		return nil, nil, ErrNotHermitian
 	}
+	if !m.IsFinite() {
+		// NaN comparisons make IsHermitian vacuously pass, so an explicit
+		// check is needed to keep Jacobi from returning garbage.
+		return nil, nil, ErrNotFinite
+	}
 	if !m.IsHermitian(1e-9 + 1e-9*m.MaxAbs()) {
 		return nil, nil, ErrNotHermitian
 	}
@@ -146,6 +151,12 @@ func ExpI(h *Matrix, t float64) (*Matrix, error) {
 func ExpMTaylor(a *Matrix) *Matrix {
 	if !a.IsSquare() {
 		panic("linalg: ExpMTaylor of non-square matrix")
+	}
+	if !a.IsFinite() {
+		// An Inf entry makes the norm-halving loop below spin forever
+		// (Inf/2 == Inf) and a NaN makes it exit immediately with garbage;
+		// reject both up front.
+		panic("linalg: ExpMTaylor of non-finite matrix")
 	}
 	n := a.Rows
 	// Scale so that norm/2^s <= 0.5.

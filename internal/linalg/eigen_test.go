@@ -138,6 +138,42 @@ func TestExpMTaylorIdentityForZero(t *testing.T) {
 	}
 }
 
+func TestExpMTaylorRejectsNonFinite(t *testing.T) {
+	// Inf entries used to hang the norm-halving loop forever (Inf/2 == Inf);
+	// NaN made it exit immediately with garbage. Both must panic up front.
+	for _, bad := range []complex128{
+		complex(math.Inf(1), 0),
+		complex(0, math.Inf(-1)),
+		complex(math.NaN(), 0),
+		complex(0, math.NaN()),
+	} {
+		m := Identity(3)
+		m.Set(1, 2, bad)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("ExpMTaylor(%v entry) did not panic", bad)
+				}
+			}()
+			// A regression here hangs rather than fails; the package test
+			// timeout is the backstop.
+			ExpMTaylor(m)
+		}()
+	}
+}
+
+func TestEigenSymRejectsNonFinite(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, complex(math.NaN(), 0))
+	m.Set(1, 0, complex(math.NaN(), 0))
+	if _, _, err := EigenSym(m, 0); err != ErrNotFinite {
+		t.Fatalf("EigenSym on NaN matrix: err = %v, want ErrNotFinite", err)
+	}
+	if _, err := ExpI(m, 1e-9); err != ErrNotFinite {
+		t.Fatalf("ExpI on NaN matrix: err = %v, want ErrNotFinite", err)
+	}
+}
+
 func TestEigenSymDegenerate(t *testing.T) {
 	// Identity has fully degenerate spectrum; decomposition must still work.
 	vals, vecs, err := EigenSym(Identity(4), 0)

@@ -145,6 +145,70 @@ func (m *Matrix) MulVec(v []complex128) []complex128 {
 	return out
 }
 
+// MulVecInto computes dst = m·v without allocating. dst must have length
+// Rows and must not alias v; it is overwritten.
+func (m *Matrix) MulVecInto(dst, v []complex128) {
+	if m.Cols != len(v) || m.Rows != len(dst) {
+		panic(fmt.Sprintf("linalg: dimension mismatch %dx%d · vec(%d) -> vec(%d)", m.Rows, m.Cols, len(v), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var acc complex128
+		for j, x := range row {
+			acc += x * v[j]
+		}
+		dst[i] = acc
+	}
+}
+
+// MulInto computes dst = m·b without allocating. dst must have shape
+// (m.Rows, b.Cols) and must not alias m or b; it is overwritten.
+func (m *Matrix) MulInto(dst, b *Matrix) {
+	if m.Cols != b.Rows || dst.Rows != m.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: dimension mismatch %dx%d · %dx%d -> %dx%d",
+			m.Rows, m.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		di := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for k := 0; k < m.Cols; k++ {
+			a := m.Data[i*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j := range di {
+				di[j] += a * bk[j]
+			}
+		}
+	}
+}
+
+// MulDaggerInto computes dst = m·b† without allocating or materializing
+// the adjoint: dst[i][j] = Σ_k m[i][k]·conj(b[j][k]) (a cache-friendly
+// row-row dot). dst must have shape (m.Rows, b.Rows) and must not alias m
+// or b.
+func (m *Matrix) MulDaggerInto(dst, b *Matrix) {
+	if m.Cols != b.Cols || dst.Rows != m.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: dimension mismatch %dx%d · (%dx%d)† -> %dx%d",
+			m.Rows, m.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Data[i*m.Cols : (i+1)*m.Cols]
+		di := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := 0; j < b.Rows; j++ {
+			bj := b.Data[j*b.Cols : (j+1)*b.Cols]
+			var acc complex128
+			for k, x := range mi {
+				acc += x * cmplx.Conj(bj[k])
+			}
+			di[j] = acc
+		}
+	}
+}
+
 // Dagger returns the conjugate transpose.
 func (m *Matrix) Dagger() *Matrix {
 	c := NewMatrix(m.Cols, m.Rows)
@@ -232,6 +296,20 @@ func (m *Matrix) MaxAbs() float64 {
 	return mx
 }
 
+// IsFinite reports whether every entry is finite (no NaN or ±Inf in either
+// component). Matrix exponentials and eigensolvers must reject non-finite
+// input up front: their norm-halving and sweep loops silently never
+// converge on Inf/NaN.
+func (m *Matrix) IsFinite() bool {
+	for _, v := range m.Data {
+		if math.IsNaN(real(v)) || math.IsInf(real(v), 0) ||
+			math.IsNaN(imag(v)) || math.IsInf(imag(v), 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // IsHermitian reports whether m is Hermitian within tol.
 func (m *Matrix) IsHermitian(tol float64) bool {
 	if !m.IsSquare() {
@@ -305,6 +383,11 @@ func mustSameShape(a, b *Matrix) {
 
 // ErrNotHermitian is returned by eigendecomposition on non-Hermitian input.
 var ErrNotHermitian = errors.New("linalg: matrix is not Hermitian")
+
+// ErrNotFinite is returned by eigendecomposition when the input contains
+// NaN or Inf entries (typically a corrupted waveform or a diverged
+// integration upstream).
+var ErrNotFinite = errors.New("linalg: matrix has non-finite entries")
 
 // Commutator returns [a, b] = ab - ba.
 func Commutator(a, b *Matrix) *Matrix { return a.Mul(b).Sub(b.Mul(a)) }

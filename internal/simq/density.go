@@ -180,7 +180,10 @@ func DissipatorStepRK4(rho *Density, collapses []Collapse, dt float64) {
 
 // SplitStep advances ρ by dt under constant H (rad/s) plus collapses using
 // first-order splitting: exact unitary conjugation followed by a dissipator
-// RK4 step.
+// RK4 step. This is the reference integrator (IntegratorExact); the fast
+// path applies the same splitting but evaluates the unitary conjugation
+// matrix-free through matStepper, skipping the per-sample
+// eigendecomposition.
 func SplitStep(h *linalg.Matrix, rho *Density, collapses []Collapse, dt float64) error {
 	u, err := linalg.ExpI(h, dt)
 	if err != nil {

@@ -1,9 +1,11 @@
 package simq
 
 import (
+	"fmt"
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"mqsspulse/internal/linalg"
@@ -417,6 +419,76 @@ func TestRunUnknownPort(t *testing.T) {
 		t.Fatal("play on unmodeled port accepted")
 	}
 }
+
+func TestCancelDuringLongPlay(t *testing.T) {
+	// A single 100k-sample Play is one integration segment; cancellation
+	// must land mid-pulse (the driven loop polls every 1024 ticks), not
+	// after the whole pulse has been integrated. The Interrupted callback
+	// reports false on its first poll (the segment boundary) and true from
+	// then on, so only the in-loop polling can abort the run.
+	s, ex := oneQubitRig(t, 10e6, nil)
+	w, err := waveform.Gaussian{Amplitude: 0.9, SigmaFrac: 0.2}.Materialize("long", 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(&pulse.Play{Port: "q0-drive-port", Frame: "q0-drive-frame", Waveform: w}); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := s.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, integ := range []Integrator{IntegratorAuto, IntegratorExact} {
+		calls := 0
+		_, err = ex.Run(sp, ExecOptions{Shots: 1, Integrator: integ, Interrupted: func() bool {
+			calls++
+			return calls > 1
+		}})
+		if err != ErrInterrupted {
+			t.Fatalf("integrator %d: err = %v, want ErrInterrupted", integ, err)
+		}
+		// Two segment-boundary-equivalent polls plus at most a few in-loop
+		// polls: the abort must not have waited for the full 100k samples
+		// (which would have needed ~97 further polls).
+		if calls > 5 {
+			t.Fatalf("integrator %d: %d polls before abort; cancellation latency unbounded", integ, calls)
+		}
+	}
+}
+
+func TestMixedSampleRateDiagnostic(t *testing.T) {
+	// The diagnostic must print two *rates*; it used to mix a rate with a
+	// period (1/dt vs p.Dt()).
+	s := pulse.NewSchedule()
+	for i, rate := range []float64{1e9, 2e9} {
+		if err := s.AddPort(&pulse.Port{ID: portID(i), Kind: pulse.PortDrive, Sites: []int{i},
+			SampleRateHz: rate, MaxAmplitude: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp, err := s.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := []int{2, 2}
+	model, err := NewSystemModel(dims, nil,
+		[]*ControlChannel{QubitDriveChannel(portID(0), dims, 0, 1e6, 5e9)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewExecutor(model).Run(sp, ExecOptions{Shots: 1})
+	if err == nil {
+		t.Fatal("mixed sample rates accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"1e+09", "2e+09"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("diagnostic %q does not mention rate %s", msg, want)
+		}
+	}
+}
+
+func portID(i int) string { return fmt.Sprintf("p%d", i) }
 
 func TestSystemModelValidation(t *testing.T) {
 	dims := []int{2}

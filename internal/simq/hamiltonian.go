@@ -3,6 +3,7 @@ package simq
 import (
 	"fmt"
 	"math"
+	"math/cmplx"
 
 	"mqsspulse/internal/linalg"
 )
@@ -27,6 +28,22 @@ type ControlChannel struct {
 	// CarrierFreqHz is the rotating-frame reference (the site's transition
 	// frequency); frame detunings are measured against it.
 	CarrierFreqHz float64
+
+	// opSparse is the sparse view of OpRaise (the embedded σ±/a/a†/ZZ
+	// operators are O(n)-sparse); prebuilt by the package constructors,
+	// lazily built for literal-constructed channels.
+	opSparse *linalg.Sparse
+}
+
+// sparseOp returns the channel's raising operator in sparse form, building
+// it on first use for channels assembled by struct literal. Not safe for
+// concurrent first use on a shared channel; the device layer builds a
+// fresh model per job.
+func (c *ControlChannel) sparseOp() *linalg.Sparse {
+	if c.opSparse == nil {
+		c.opSparse = linalg.NewSparse(c.OpRaise)
+	}
+	return c.opSparse
 }
 
 // SystemModel is everything the executor needs to integrate the dynamics:
@@ -80,45 +97,38 @@ func NewSystemModel(dims []int, drift *linalg.Matrix, channels []*ControlChannel
 func (m *SystemModel) HilbertDim() int { return m.Drift.Rows }
 
 // driveTerm accumulates the channel's contribution for complex drive value
-// chi into h: h += π·RabiHz·(χ·OpRaise + χ*·OpRaise†).
+// chi into h: h += π·RabiHz·(χ·OpRaise + χ*·OpRaise†). It walks only the
+// O(n) non-zeros of the embedded operator instead of scanning the dense
+// n² entries.
 func (c *ControlChannel) driveTerm(h *linalg.Matrix, chi complex128) {
 	if chi == 0 {
 		return
 	}
 	w := complex(math.Pi*c.RabiHz, 0)
-	h.AddInPlace(c.OpRaise, w*chi)
-	// Add the Hermitian conjugate term: conj over the dagger of OpRaise.
-	// OpRaise† entries: conj(OpRaise[j][i]).
-	n := h.Rows
-	cc := w * complex(real(chi), -imag(chi))
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			v := c.OpRaise.Data[j*n+i]
-			if v != 0 {
-				h.Data[i*n+j] += cc * complex(real(v), -imag(v))
-			}
-		}
+	sp := c.sparseOp()
+	sp.AddToDense(h, w*chi)
+	sp.DaggerAddToDense(h, w*cmplx.Conj(chi))
+}
+
+// newChannel assembles a channel with its sparse operator view prebuilt.
+func newChannel(portID string, op *linalg.Matrix, rabiHz, carrierHz float64) *ControlChannel {
+	return &ControlChannel{
+		PortID:        portID,
+		OpRaise:       op,
+		RabiHz:        rabiHz,
+		CarrierFreqHz: carrierHz,
+		opSparse:      linalg.NewSparse(op),
 	}
 }
 
 // QubitDriveChannel builds a σ+ drive channel for a 2-level site.
 func QubitDriveChannel(portID string, dims []int, site int, rabiHz, carrierHz float64) *ControlChannel {
-	return &ControlChannel{
-		PortID:        portID,
-		OpRaise:       linalg.EmbedAt(linalg.SigmaPlus(), dims, site),
-		RabiHz:        rabiHz,
-		CarrierFreqHz: carrierHz,
-	}
+	return newChannel(portID, linalg.EmbedAt(linalg.SigmaPlus(), dims, site), rabiHz, carrierHz)
 }
 
 // TransmonDriveChannel builds an a† drive channel for a d-level site.
 func TransmonDriveChannel(portID string, dims []int, site int, rabiHz, carrierHz float64) *ControlChannel {
-	return &ControlChannel{
-		PortID:        portID,
-		OpRaise:       linalg.EmbedAt(linalg.Creation(dims[site]), dims, site),
-		RabiHz:        rabiHz,
-		CarrierFreqHz: carrierHz,
-	}
+	return newChannel(portID, linalg.EmbedAt(linalg.Creation(dims[site]), dims, site), rabiHz, carrierHz)
 }
 
 // ExchangeCouplerChannel builds a two-site exchange (XY) coupler channel for
@@ -127,12 +137,7 @@ func TransmonDriveChannel(portID string, dims []int, site int, rabiHz, carrierHz
 func ExchangeCouplerChannel(portID string, dims []int, a int, rabiHz float64) *ControlChannel {
 	da, db := dims[a], dims[a+1]
 	op := linalg.Annihilation(da).Dagger().Kron(linalg.Annihilation(db))
-	return &ControlChannel{
-		PortID:        portID,
-		OpRaise:       linalg.EmbedTwo(op, dims, a),
-		RabiHz:        rabiHz,
-		CarrierFreqHz: 0,
-	}
+	return newChannel(portID, linalg.EmbedTwo(op, dims, a), rabiHz, 0)
 }
 
 // ZZCouplerChannel builds a two-site σz⊗σz coupler (entangling phase
@@ -140,12 +145,8 @@ func ExchangeCouplerChannel(portID string, dims []int, a int, rabiHz float64) *C
 // OpRaise is Hermitian here; the drive's real part sets the ZZ strength.
 func ZZCouplerChannel(portID string, dims []int, a int, rabiHz float64) *ControlChannel {
 	zz := zProj(dims[a]).Kron(zProj(dims[a+1]))
-	return &ControlChannel{
-		PortID:        portID,
-		OpRaise:       linalg.EmbedTwo(zz, dims, a).Scale(0.5), // halve: H = π·Rabi·(χ+χ*)·ZZ/2
-		RabiHz:        rabiHz,
-		CarrierFreqHz: 0,
-	}
+	// Halve the projector: H = π·Rabi·(χ+χ*)·ZZ/2.
+	return newChannel(portID, linalg.EmbedTwo(zz, dims, a).Scale(0.5), rabiHz, 0)
 }
 
 // zProj returns the |1⟩⟨1| projector extended to d levels (leakage levels

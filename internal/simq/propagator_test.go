@@ -1,0 +1,324 @@
+package simq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mqsspulse/internal/linalg"
+	"mqsspulse/internal/pulse"
+	"mqsspulse/internal/waveform"
+)
+
+// randHermitianM builds a random Hermitian matrix with entries of the given
+// magnitude scale (rad/s for Hamiltonians).
+func randHermitianM(rng *rand.Rand, n int, scale float64) *linalg.Matrix {
+	m := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, complex(scale*rng.NormFloat64(), 0))
+		for j := i + 1; j < n; j++ {
+			v := complex(scale*rng.NormFloat64(), scale*rng.NormFloat64())
+			m.Set(i, j, v)
+			m.Set(j, i, complex(real(v), -imag(v)))
+		}
+	}
+	return m
+}
+
+// TestVecStepperMatchesExpI drives the scaled-Taylor stepper against the
+// exact eigendecomposition propagator on random Hermitian Hamiltonians,
+// including norms large enough to force sub-stepping. The fast path must
+// preserve the norm and track the exact state to well below the 1e-9
+// fidelity budget of the executor-level tests.
+func TestVecStepperMatchesExpI(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	dt := 1e-9
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(7)
+		scale := math.Pow(10, 7+3*rng.Float64()) // 1e7..1e10 rad/s
+		h := randHermitianM(rng, n, scale)
+		sp := linalg.NewSparse(h)
+		ham := &tickHam{dim: n, drift: sp, driftNorm: sp.NormBound()}
+
+		psi := make([]complex128, n)
+		for i := range psi {
+			psi[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		linalg.Normalize(psi)
+		want := append([]complex128(nil), psi...)
+
+		stepper := newVecStepper(n)
+		steps := 1 + rng.Intn(20)
+		u, err := linalg.ExpI(h, dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < steps; k++ {
+			stepper.step(ham, psi, dt)
+			want = u.MulVec(want)
+		}
+		if norm := linalg.Norm2(psi); math.Abs(norm-1) > 1e-11 {
+			t.Fatalf("trial %d: norm drifted to %.15g", trial, norm)
+		}
+		d := linalg.Dot(want, psi)
+		fid := real(d)*real(d) + imag(d)*imag(d)
+		if fid < 1-1e-10 {
+			t.Fatalf("trial %d (n=%d scale=%.3g steps=%d): fidelity %.15g", trial, n, scale, steps, fid)
+		}
+	}
+}
+
+// TestMatStepperMatchesExpI pins the density-engine conjugation stepper
+// against exact UρU†.
+func TestMatStepperMatchesExpI(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dt := 1e-9
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(5)
+		h := randHermitianM(rng, n, 1e9)
+		sp := linalg.NewSparse(h)
+		ham := &tickHam{dim: n, drift: sp, driftNorm: sp.NormBound()}
+
+		// Random pure-state density matrix.
+		psi := make([]complex128, n)
+		for i := range psi {
+			psi[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		linalg.Normalize(psi)
+		rho := linalg.Outer(psi, psi)
+		want := rho.Clone()
+
+		u, err := linalg.ExpI(h, dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stepper := newMatStepper(n)
+		for k := 0; k < 10; k++ {
+			stepper.conjugate(ham, rho, dt)
+			want = u.Mul(want).Mul(u.Dagger())
+		}
+		if !rho.Equal(want, 1e-11) {
+			t.Fatalf("trial %d: density conjugation off by %g", trial, rho.Sub(want).MaxAbs())
+		}
+	}
+}
+
+// randomDriveRig builds a schedule + executor over random Hermitian drift
+// and a random (fully dense, non-sparse) raising operator so the property
+// test covers operators the sparse path cannot specialize.
+func randomDriveRig(t *testing.T, rng *rand.Rand, dims []int, collapses []Collapse) (*pulse.Schedule, *Executor) {
+	t.Helper()
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	s := pulse.NewSchedule()
+	if err := s.AddPort(&pulse.Port{ID: "d0", Kind: pulse.PortDrive, Sites: []int{0},
+		SampleRateHz: 1e9, MaxAmplitude: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddFrame(pulse.NewFrame("f0", 5.0e9)); err != nil {
+		t.Fatal(err)
+	}
+	op := linalg.NewMatrix(n, n)
+	for i := range op.Data {
+		op.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	drift := randHermitianM(rng, n, 1e8)
+	model, err := NewSystemModel(dims, drift, []*ControlChannel{{
+		PortID: "d0", OpRaise: op, RabiHz: 1e6 + 40e6*rng.Float64(), CarrierFreqHz: 5.0e9,
+	}}, collapses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, NewExecutor(model)
+}
+
+// appendRandomProgram appends a random mix of plays (Gaussian, constant,
+// flat-top), delays, and frame ops, exercising both the matrix-free and
+// the cached-stretch paths.
+func appendRandomProgram(t *testing.T, rng *rand.Rand, s *pulse.Schedule) {
+	t.Helper()
+	nops := 2 + rng.Intn(5)
+	for i := 0; i < nops; i++ {
+		switch rng.Intn(5) {
+		case 0, 1:
+			w, err := waveform.Gaussian{Amplitude: 0.2 + 0.7*rng.Float64(),
+				SigmaFrac: 0.15 + 0.1*rng.Float64()}.Materialize("g", 8+rng.Intn(40))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = s.Append(&pulse.Play{Port: "d0", Frame: "f0", Waveform: w})
+		case 2:
+			w, err := waveform.Constant{Amplitude: 0.1 + 0.8*rng.Float64()}.Materialize("c", 8+rng.Intn(60))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = s.Append(&pulse.Play{Port: "d0", Frame: "f0", Waveform: w})
+		case 3:
+			_ = s.Append(&pulse.Delay{Port: "d0", Samples: int64(1 + rng.Intn(200))})
+		case 4:
+			_ = s.Append(&pulse.ShiftPhase{Port: "d0", Frame: "f0", Phase: rng.Float64() * 6})
+			if rng.Intn(2) == 0 {
+				_ = s.Append(&pulse.ShiftFrequency{Port: "d0", Frame: "f0", Hz: (rng.Float64() - 0.5) * 40e6})
+			}
+		}
+	}
+}
+
+// TestFastIntegratorMatchesExactState is the headline property test: for
+// random drives, drifts, envelopes, and frame programs, the fast path's
+// final state must match the exact eigendecomposition path with fidelity
+// ≥ 1−1e−9 and unit norm.
+func TestFastIntegratorMatchesExactState(t *testing.T) {
+	rng := rand.New(rand.NewSource(2025))
+	for trial := 0; trial < 12; trial++ {
+		dims := [][]int{{2}, {3}, {4}, {2, 2}, {3, 3}}[rng.Intn(5)]
+		s, ex := randomDriveRig(t, rng, dims, nil)
+		appendRandomProgram(t, rng, s)
+		sp, err := s.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := ex.Run(sp, ExecOptions{Shots: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := ex.Run(sp, ExecOptions{Shots: 1, Integrator: IntegratorExact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if norm := fast.FinalState.Norm(); math.Abs(norm-1) > 1e-9 {
+			t.Fatalf("trial %d: fast-path norm %.12g", trial, norm)
+		}
+		fid := Fidelity(fast.FinalState, exact.FinalState)
+		if fid < 1-1e-9 {
+			t.Fatalf("trial %d (dims=%v): fast vs exact fidelity %.15g", trial, dims, fid)
+		}
+	}
+}
+
+// TestFastIntegratorMatchesExactDensity pins the density engine: random
+// decoherent programs must produce the same ρ through both integrators.
+func TestFastIntegratorMatchesExactDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 6; trial++ {
+		dims := [][]int{{2}, {3}, {2, 2}}[rng.Intn(3)]
+		cs := RelaxationCollapses(dims, 0, 30e-6, 20e-6)
+		s, ex := randomDriveRig(t, rng, dims, cs)
+		appendRandomProgram(t, rng, s)
+		sp, err := s.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := ex.Run(sp, ExecOptions{Shots: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := ex.Run(sp, ExecOptions{Shots: 1, Integrator: IntegratorExact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.FinalDensity == nil || exact.FinalDensity == nil {
+			t.Fatal("density engine expected")
+		}
+		if !fast.FinalDensity.Rho.Equal(exact.FinalDensity.Rho, 1e-9) {
+			diff := fast.FinalDensity.Rho.Sub(exact.FinalDensity.Rho).MaxAbs()
+			t.Fatalf("trial %d (dims=%v): fast vs exact density off by %g", trial, dims, diff)
+		}
+		if err := fast.FinalDensity.CheckPhysical(1e-6); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestFastIntegratorRabiAnalytic checks the fast path against the closed
+// form: a resonant constant drive of amplitude a for T seconds gives
+// P(1) = sin²(π·Rabi·a·T).
+func TestFastIntegratorRabiAnalytic(t *testing.T) {
+	rabi := 10e6
+	for _, ticks := range []int{10, 25, 50, 75, 100, 137} {
+		for _, amp := range []float64{0.25, 0.5, 1.0} {
+			s, ex := oneQubitRig(t, rabi, nil)
+			playConst(t, s, "q0-drive-port", "q0-drive-frame", amp, ticks)
+			res := runSchedule(t, s, ex, ExecOptions{Shots: 1})
+			p1 := res.FinalState.PopulationOfLevel(0, 1)
+			want := math.Pow(math.Sin(math.Pi*rabi*amp*float64(ticks)*1e-9), 2)
+			if math.Abs(p1-want) > 1e-9 {
+				t.Fatalf("ticks=%d amp=%g: P(1)=%.12g want %.12g", ticks, amp, p1, want)
+			}
+		}
+	}
+}
+
+// TestStretchCacheHitsConstantEnvelope verifies that repeated identical
+// square pulses share one cached propagator: execution stays correct and
+// the cache holds a single stretch entry.
+func TestStretchCacheHitsConstantEnvelope(t *testing.T) {
+	s, ex := oneQubitRig(t, 10e6, nil)
+	// Four identical π/4 square pulses = one π pulse total.
+	for i := 0; i < 4; i++ {
+		playConst(t, s, "q0-drive-port", "q0-drive-frame", 0.5, 25)
+	}
+	res := runSchedule(t, s, ex, ExecOptions{Shots: 1})
+	p1 := res.FinalState.PopulationOfLevel(0, 1)
+	if math.Abs(p1-1) > 1e-9 {
+		t.Fatalf("P(1) after 4×π/4 = %.12g, want 1", p1)
+	}
+}
+
+// TestFastPathSteadyStateAllocations pins the zero-allocation steady
+// state of the state-vector fast path: total allocations per Run must not
+// grow with the sample count (the 8× longer pulse may allocate at most a
+// few stragglers more than the short one; the exact path allocated ~18
+// per sample).
+func TestFastPathSteadyStateAllocations(t *testing.T) {
+	mkRun := func(samples int) func() {
+		s, ex := oneQubitRig(t, 10e6, nil)
+		w, err := waveform.Gaussian{Amplitude: 0.9, SigmaFrac: 0.2}.Materialize("w", samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(&pulse.Play{Port: "q0-drive-port", Frame: "q0-drive-frame", Waveform: w}); err != nil {
+			t.Fatal(err)
+		}
+		sp, err := s.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return func() {
+			if _, err := ex.Run(sp, ExecOptions{Shots: 1}); err != nil {
+				panic(err)
+			}
+		}
+	}
+	short := testing.AllocsPerRun(5, mkRun(512))
+	long := testing.AllocsPerRun(5, mkRun(4096))
+	if long-short > 16 {
+		t.Fatalf("allocations grow with sample count: %v at 512 samples, %v at 4096", short, long)
+	}
+}
+
+// TestFastIntegratorDetunedDrive covers the time-dependent modulation path
+// (detuned frame ⇒ no constant stretches) against the exact integrator.
+func TestFastIntegratorDetunedDrive(t *testing.T) {
+	s, ex := oneQubitRig(t, 10e6, nil)
+	f, _ := s.Frame("q0-drive-frame")
+	f.SetFrequency(5.0e9 + 15e6)
+	playConst(t, s, "q0-drive-port", "q0-drive-frame", 1.0, 80)
+	sp, err := s.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := ex.Run(sp, ExecOptions{Shots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ex.Run(sp, ExecOptions{Shots: 1, Integrator: IntegratorExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fid := Fidelity(fast.FinalState, exact.FinalState); fid < 1-1e-9 {
+		t.Fatalf("detuned fast vs exact fidelity %.15g", fid)
+	}
+}

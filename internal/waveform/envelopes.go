@@ -43,6 +43,12 @@ func (g Gaussian) Materialize(name string, n int) (*Waveform, error) {
 	if g.SigmaFrac <= 0 || n <= 0 {
 		return nil, fmt.Errorf("%w: gaussian sigma_frac=%g n=%d", ErrBadParam, g.SigmaFrac, n)
 	}
+	if n == 1 {
+		// The lifted Gaussian divides by 1−edge, and with a single sample
+		// μ = 0 makes edge = 1: the 0/0 produced NaN samples that surfaced
+		// as a confusing waveform.New rejection.
+		return nil, fmt.Errorf("%w: gaussian needs n ≥ 2 samples (lifted edge undefined for n=1)", ErrBadParam)
+	}
 	sigma := g.SigmaFrac * float64(n)
 	mu := float64(n-1) / 2
 	samples := make([]complex128, n)
@@ -80,6 +86,10 @@ func (d DRAG) Materialize(name string, n int) (*Waveform, error) {
 	}
 	if d.SigmaFrac <= 0 || n <= 0 {
 		return nil, fmt.Errorf("%w: drag sigma_frac=%g n=%d", ErrBadParam, d.SigmaFrac, n)
+	}
+	if n == 1 {
+		// Same 0/0 as the lifted Gaussian (edge == 1 at n=1).
+		return nil, fmt.Errorf("%w: drag needs n ≥ 2 samples (lifted edge undefined for n=1)", ErrBadParam)
 	}
 	sigma := d.SigmaFrac * float64(n)
 	mu := float64(n-1) / 2

@@ -1,6 +1,7 @@
 package waveform
 
 import (
+	"errors"
 	"math"
 	"math/cmplx"
 	"math/rand"
@@ -242,6 +243,40 @@ func TestEnvelopeParamValidation(t *testing.T) {
 	for _, c := range cases {
 		if _, err := c.env.Materialize("w", c.n); err == nil {
 			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestSingleSampleLiftedEnvelopesRejected(t *testing.T) {
+	// n == 1 makes the lifted-Gaussian edge value exactly 1 and the
+	// normalization 0/0: these used to produce NaN samples that surfaced
+	// as an opaque waveform.New rejection. They must fail cleanly with
+	// ErrBadParam instead.
+	for _, c := range []struct {
+		name string
+		env  Envelope
+	}{
+		{"gaussian", Gaussian{Amplitude: 0.5, SigmaFrac: 0.2}},
+		{"drag", DRAG{Amplitude: 0.5, SigmaFrac: 0.2, Beta: 1.0}},
+	} {
+		_, err := c.env.Materialize("w", 1)
+		if !errors.Is(err, ErrBadParam) {
+			t.Errorf("%s n=1: err = %v, want ErrBadParam", c.name, err)
+		}
+	}
+	// The other envelope families remain well-defined at n == 1.
+	for _, c := range []Envelope{
+		Constant{Amplitude: 0.5},
+		RaisedCosine{Amplitude: 0.5},
+		Blackman{Amplitude: 0.5},
+	} {
+		w, err := c.Materialize("w", 1)
+		if err != nil {
+			t.Errorf("%s n=1: %v", c.Kind(), err)
+			continue
+		}
+		if len(w.Samples) != 1 {
+			t.Errorf("%s n=1: %d samples", c.Kind(), len(w.Samples))
 		}
 	}
 }
