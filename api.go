@@ -33,6 +33,7 @@ import (
 	"mqsspulse/internal/devices"
 	"mqsspulse/internal/mlir"
 	"mqsspulse/internal/optctl"
+	"mqsspulse/internal/ptemplate"
 	"mqsspulse/internal/pulse"
 	"mqsspulse/internal/qdmi"
 	"mqsspulse/internal/qir"
@@ -390,6 +391,68 @@ func NewRemoteAdapter(addr string, opts ...RemoteOption) (*RemoteAdapter, error)
 // NewRemoteAdapterCtx dials a remote MQSS client under ctx.
 func NewRemoteAdapterCtx(ctx context.Context, addr string, opts ...RemoteOption) (*RemoteAdapter, error) {
 	return client.NewRemoteAdapterCtx(ctx, addr, opts...)
+}
+
+// Parametric templates: compile once, bind millions of times. A Template
+// wraps a kernel with unbound parameters (built via the Circuit's RXP,
+// RYP, RZP, FrameChangeP, DelayP, WaveformEnvelopeP methods); the client
+// lowers it once per (template, device, calibration epoch) and every sweep
+// point afterwards is a cheap bind — no recompilation.
+type (
+	// Template is a parametric kernel with declared parameter ranges.
+	Template = ptemplate.Template
+	// TemplateParam declares one symbolic parameter and its legal range.
+	TemplateParam = ptemplate.Param
+	// Bindings maps parameter names to concrete values for one sweep point.
+	Bindings = ptemplate.Bindings
+	// CompiledTemplate is a lowered parametric payload with unbound slots.
+	CompiledTemplate = ptemplate.Compiled
+	// ParamExpr is an affine symbolic parameter expression (scale·p+offset).
+	ParamExpr = qpi.ParamExpr
+)
+
+// ErrBadParam is the sentinel wrapped into bind-time parameter rejections
+// (missing, undeclared, non-finite, or out-of-range values); test with
+// errors.Is. It crosses the remote wire protocol.
+var ErrBadParam = ptemplate.ErrBadParam
+
+// Sym references a named template parameter directly (scale 1, offset 0).
+func Sym(name string) *ParamExpr { return qpi.Sym(name) }
+
+// SymAffine references a named template parameter through an affine map:
+// the bound value is scale·p + offset.
+func SymAffine(name string, scale, offset float64) *ParamExpr {
+	return qpi.SymAffine(name, scale, offset)
+}
+
+// NewTemplate validates and wraps a finished parametric kernel; params
+// must declare exactly the parameters the kernel references, and the
+// declared ranges must keep every symbolic angle, delay, and amplitude
+// inside hardware limits (proven here, once, rather than per point).
+func NewTemplate(c *Circuit, params ...TemplateParam) (*Template, error) {
+	return ptemplate.New(c, params...)
+}
+
+// CompileTemplate lowers a template for a device through the client's
+// lowering cache: one compilation per (template fingerprint, device,
+// calibration epoch), served cache-hot afterwards (see CacheStats.Binds).
+func (s *Stack) CompileTemplate(t *Template, device string) (*CompiledTemplate, error) {
+	return s.Client.CompileTemplate(t, device)
+}
+
+// RunSweep executes one job per bindings entry and waits for all of them:
+// the template compiles at most once and every point dispatches as a
+// (compiled template, bindings) pair bound after the calibration-epoch
+// check. Results are parallel to bindings, with per-point failures
+// (including ErrBadParam rejections) reported in place.
+func (s *Stack) RunSweep(ctx context.Context, t *Template, device string, bindings []Bindings, opts SubmitOptions) ([]BatchResult, error) {
+	return s.Client.RunSweep(ctx, t, device, bindings, opts)
+}
+
+// SubmitSweep enqueues one job per bindings entry without waiting; the
+// returned ticket and error slices are parallel to bindings.
+func (s *Stack) SubmitSweep(ctx context.Context, t *Template, device string, bindings []Bindings, opts SubmitOptions) ([]*Ticket, []error) {
+	return s.Client.SubmitSweepCtx(ctx, t, device, bindings, opts)
 }
 
 // Compiler and exchange format (paper Sections 5.2, 5.4).

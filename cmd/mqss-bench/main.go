@@ -6,21 +6,98 @@
 //	mqss-bench -all          # run every experiment
 //	mqss-bench -exp EXP-C2   # run one experiment
 //	mqss-bench -list         # list experiment IDs
+//	mqss-bench -json         # benchmark template binding, write BENCH_6.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"testing"
 	"time"
 
 	"mqsspulse/internal/experiments"
 )
 
+// benchEntry is one machine-readable benchmark record of BENCH_6.json.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchReport is the BENCH_6.json document: the deferred-binding sweep
+// experiments plus their speedup ratios.
+type benchReport struct {
+	Points      int                `json:"points"`
+	Experiments []benchEntry       `json:"experiments"`
+	Speedups    map[string]float64 `json:"speedups"`
+}
+
+// writeBenchJSON benchmarks the compile-once/bind-per-point sweep path
+// against the per-point-recompile baseline and writes the results to path.
+func writeBenchJSON(path string) error {
+	const points = 1024
+	bound, recompile, err := experiments.SweepBenchRig(points)
+	if err != nil {
+		return err
+	}
+	measure := func(name string, f func() error) (benchEntry, error) {
+		var failed error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := f(); err != nil {
+					failed = err
+					return
+				}
+			}
+		})
+		if failed != nil {
+			return benchEntry{}, fmt.Errorf("%s: %w", name, failed)
+		}
+		return benchEntry{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}, nil
+	}
+	be, err := measure("sweep_bound_1024", bound)
+	if err != nil {
+		return err
+	}
+	re, err := measure("sweep_recompile_1024", recompile)
+	if err != nil {
+		return err
+	}
+	report := benchReport{
+		Points:      points,
+		Experiments: []benchEntry{be, re},
+		Speedups: map[string]float64{
+			"recompile_over_bound": re.NsPerOp / be.NsPerOp,
+		},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: bound %.3gms/sweep, recompile %.3gms/sweep (%.1f× speedup)\n",
+		path, be.NsPerOp/1e6, re.NsPerOp/1e6, re.NsPerOp/be.NsPerOp)
+	return nil
+}
+
 func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	exp := flag.String("exp", "", "run a single experiment by ID (e.g. EXP-F1)")
 	list := flag.Bool("list", false, "list experiment IDs")
+	jsonOut := flag.Bool("json", false,
+		"benchmark the template bind vs per-point recompile sweep paths and write BENCH_6.json")
 	flag.Parse()
 
 	ids := []string{"EXP-F1", "EXP-F2", "EXP-F3", "EXP-L1", "EXP-L2", "EXP-L3",
@@ -47,6 +124,11 @@ func main() {
 		fmt.Printf("(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 	switch {
+	case *jsonOut:
+		if err := writeBenchJSON("BENCH_6.json"); err != nil {
+			fmt.Fprintf(os.Stderr, "bench json failed: %v\n", err)
+			os.Exit(1)
+		}
 	case *all:
 		for _, id := range ids {
 			run(id)

@@ -106,8 +106,8 @@ func runFleet(preset string, sites, n, jobs int) error {
 	fmt.Printf("\n  totals: submitted=%d completed=%d failed=%d cancelled=%d rejected=%d steals=%d\n",
 		st.Submitted, st.Completed, st.Failed, st.Cancelled, st.Rejected, st.Steals)
 	cs := stack.Client.CacheStats()
-	fmt.Printf("  lowering cache: hits=%d misses=%d evictions=%d invalidations=%d entries=%d/%d\n",
-		cs.Hits, cs.Misses, cs.Evictions, cs.Invalidations, cs.Entries, cs.Limit)
+	fmt.Printf("  lowering cache: hits=%d misses=%d binds=%d evictions=%d invalidations=%d entries=%d/%d (templates=%d)\n",
+		cs.Hits, cs.Misses, cs.Binds, cs.Evictions, cs.Invalidations, cs.Entries, cs.Limit, cs.TemplateEntries)
 	return nil
 }
 

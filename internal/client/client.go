@@ -35,6 +35,7 @@ import (
 	"sync"
 
 	"mqsspulse/internal/compiler"
+	"mqsspulse/internal/ptemplate"
 	"mqsspulse/internal/qdmi"
 	"mqsspulse/internal/qpi"
 	"mqsspulse/internal/qrm"
@@ -63,16 +64,23 @@ type Client struct {
 	cacheLimit    int
 	CacheEnabled  bool
 	cacheStats    CacheStats
+	// templateEntries tracks how many cache entries hold compiled parametric
+	// templates (kept incrementally; removeLocked maintains it).
+	templateEntries int
 }
 
 // cacheEntry stores the compiled payload together with its exchange
 // format (so cache hits never re-derive the format from payload bytes)
-// and the compile-time calibration epoch of the target device.
+// and the compile-time calibration epoch of the target device. Template
+// entries carry the compiled parametric artifact instead of payload bytes:
+// one entry serves every sweep point, so a lookup hit is a bind, not a
+// payload reuse.
 type cacheEntry struct {
 	key     string
 	payload []byte
 	format  qdmi.ProgramFormat
 	epoch   int64
+	tpl     *ptemplate.Compiled
 }
 
 // CacheStats is a point-in-time snapshot of the lowering-cache counters.
@@ -86,10 +94,17 @@ type CacheStats struct {
 	// Invalidations counts entries dropped because the target device's
 	// calibration epoch moved past the entry's compile-time epoch.
 	Invalidations int64
+	// Binds counts template lookups served from a cached compiled template:
+	// sweep points that paid a parameter bind instead of a compilation. A
+	// healthy N-point sweep shows 1 miss and N−1 binds.
+	Binds int64
 	// Entries is the current entry count; Limit is the configured bound.
 	Entries int
 	// Limit is the configured maximum entry count.
 	Limit int
+	// TemplateEntries is how many current entries are compiled parametric
+	// templates (included in Entries).
+	TemplateEntries int
 }
 
 // New builds a client over a QDMI session with its own QRM scheduler.
@@ -127,6 +142,7 @@ func (c *Client) CacheStats() CacheStats {
 	st := c.cacheStats
 	st.Entries = c.lruList.Len()
 	st.Limit = c.cacheLimit
+	st.TemplateEntries = c.templateEntries
 	return st
 }
 
@@ -155,6 +171,9 @@ func (c *Client) evictLocked() {
 // removeLocked unlinks one cache entry from both index and LRU list.
 func (c *Client) removeLocked(el *list.Element) {
 	entry := el.Value.(*cacheEntry)
+	if entry.tpl != nil {
+		c.templateEntries--
+	}
 	delete(c.loweringCache, entry.key)
 	c.lruList.Remove(el)
 }
@@ -228,6 +247,11 @@ func deviceEpoch(dev qdmi.Device) (int64, error) {
 // compile lowers a kernel and returns the payload, its exchange format,
 // and the calibration epoch it was compiled against.
 func (c *Client) compile(k *qpi.Circuit, device string, bypassCache bool) ([]byte, qdmi.ProgramFormat, int64, error) {
+	if k.IsParametric() {
+		return nil, "", 0, fmt.Errorf(
+			"client: kernel %q carries unbound parameters %v; wrap it in a ptemplate.Template and use SubmitSweepCtx/RunSweep",
+			k.Name, k.ParamNames())
+	}
 	dev, err := c.session.Device(device)
 	if err != nil {
 		return nil, "", 0, err

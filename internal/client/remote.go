@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"mqsspulse/internal/ptemplate"
 	"mqsspulse/internal/qdmi"
 	"mqsspulse/internal/qpi"
 	"mqsspulse/internal/qrm"
@@ -23,6 +24,19 @@ import (
 
 // remoteRequest is the wire form of a job submission.
 type remoteRequest struct {
+	// Op selects the request kind: "" (or "submit") is a legacy payload
+	// submission, "register_template" ships a parametric payload once per
+	// connection, and "submit_bound" references it by fingerprint with a
+	// small per-point bindings frame.
+	Op string `json:"op,omitempty"`
+	// Template is the Compiled.Encode frame for op "register_template".
+	Template json.RawMessage `json:"template,omitempty"`
+	// TemplateID names a previously registered template (its fingerprint)
+	// for op "submit_bound".
+	TemplateID string `json:"template_id,omitempty"`
+	// Bindings carries the per-point parameter values for op "submit_bound".
+	Bindings map[string]float64 `json:"bindings,omitempty"`
+
 	Device string `json:"device"`
 	// Pool targets a named server-side device pool instead of Device.
 	Pool     string `json:"pool,omitempty"`
@@ -163,6 +177,10 @@ func (s *Server) serve(conn net.Conn) {
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	enc := json.NewEncoder(conn)
+	// Registered templates are scoped to the connection: the registry dies
+	// with it, so a reconnecting adapter must re-register (and a server
+	// restart can never serve stale parametric payloads).
+	templates := map[string]*ptemplate.Compiled{}
 	for {
 		if s.cfg.idleTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.idleTimeout))
@@ -175,7 +193,7 @@ func (s *Server) serve(conn net.Conn) {
 			_ = enc.Encode(remoteResponse{Error: "malformed request: " + err.Error()})
 			continue
 		}
-		resp := s.handle(&req)
+		resp := s.handle(&req, templates)
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -198,16 +216,47 @@ func (s *Server) jobContext(req *remoteRequest) (context.Context, context.Cancel
 	return context.WithCancel(s.ctx)
 }
 
-func (s *Server) handle(req *remoteRequest) remoteResponse {
+func (s *Server) handle(req *remoteRequest, templates map[string]*ptemplate.Compiled) remoteResponse {
+	switch req.Op {
+	case "", "submit", "submit_bound":
+		return s.handleSubmit(req, templates)
+	case "register_template":
+		tpl, err := ptemplate.Decode(req.Template)
+		if err != nil {
+			return remoteResponse{Error: "bad template frame: " + err.Error()}
+		}
+		templates[tpl.Fingerprint] = tpl
+		return remoteResponse{}
+	default:
+		return remoteResponse{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func (s *Server) handleSubmit(req *remoteRequest, templates map[string]*ptemplate.Compiled) remoteResponse {
 	ctx, cancel := s.jobContext(req)
 	defer cancel()
-	format := qdmi.ProgramFormat(req.Format)
-	if format == "" {
-		// Legacy clients may omit the format; sniff the payload profile.
-		format = qdmi.FormatQIRBase
-		if containsPulse([]byte(req.Payload)) {
-			format = qdmi.FormatQIRPulse
+	qreq := qrm.Request{}
+	if req.Op == "submit_bound" {
+		tpl, ok := templates[req.TemplateID]
+		if !ok {
+			return remoteResponse{
+				Error:     fmt.Sprintf("template %q not registered on this connection", req.TemplateID),
+				ErrorKind: "unknown_template",
+			}
 		}
+		qreq.Template = tpl
+		qreq.Bindings = req.Bindings
+	} else {
+		format := qdmi.ProgramFormat(req.Format)
+		if format == "" {
+			// Legacy clients may omit the format; sniff the payload profile.
+			format = qdmi.FormatQIRBase
+			if containsPulse([]byte(req.Payload)) {
+				format = qdmi.FormatQIRPulse
+			}
+		}
+		qreq.Payload = []byte(req.Payload)
+		qreq.Format = format
 	}
 	level, err := readout.ParseMeasLevel(req.MeasLevel)
 	if err != nil {
@@ -228,19 +277,16 @@ func (s *Server) handle(req *remoteRequest) remoteResponse {
 			compiledFor = members[0]
 		}
 	}
-	tk, err := s.client.qrm.SubmitCtx(ctx, qrm.Request{
-		Device:           device,
-		Pool:             req.Pool,
-		Payload:          []byte(req.Payload),
-		Format:           format,
-		Shots:            req.Shots,
-		Priority:         req.Priority,
-		Tag:              req.Tag,
-		MeasLevel:        level,
-		MeasReturn:       ret,
-		CalibrationEpoch: req.CalibrationEpoch,
-		CompiledFor:      compiledFor,
-	})
+	qreq.Device = device
+	qreq.Pool = req.Pool
+	qreq.Shots = req.Shots
+	qreq.Priority = req.Priority
+	qreq.Tag = req.Tag
+	qreq.MeasLevel = level
+	qreq.MeasReturn = ret
+	qreq.CalibrationEpoch = req.CalibrationEpoch
+	qreq.CompiledFor = compiledFor
+	tk, err := s.client.qrm.SubmitCtx(ctx, qreq)
 	if err != nil {
 		return remoteResponse{Error: err.Error(), ErrorKind: errorKind(err)}
 	}
@@ -292,6 +338,8 @@ func errorKind(err error) string {
 		return "no_such_target"
 	case errors.Is(err, qrm.ErrStaleCalibration):
 		return "stale_calibration"
+	case errors.Is(err, ptemplate.ErrBadParam):
+		return "bad_param"
 	default:
 		return ""
 	}
@@ -306,6 +354,10 @@ func errorFromWire(kind, msg string) error {
 		return fmt.Errorf("client: remote: %w: %s", qrm.ErrNoSuchTarget, msg)
 	case "stale_calibration":
 		return fmt.Errorf("client: remote: %w: %s", qrm.ErrStaleCalibration, msg)
+	case "bad_param":
+		return fmt.Errorf("client: remote: %w: %s", ptemplate.ErrBadParam, msg)
+	case "unknown_template":
+		return fmt.Errorf("client: remote: template not registered: %s", msg)
 	default:
 		return fmt.Errorf("client: remote: %s", msg)
 	}
@@ -330,6 +382,9 @@ type RemoteAdapter struct {
 	mu   sync.Mutex
 	conn net.Conn
 	rd   *bufio.Reader
+	// registered tracks template fingerprints already shipped on this
+	// connection, so a sweep sends the parametric payload exactly once.
+	registered map[string]bool
 }
 
 // NewRemoteAdapter dials the remote server, detached from any context.
@@ -364,6 +419,9 @@ func (r *RemoteAdapter) closeLocked() {
 		r.conn.Close()
 		r.conn = nil
 		r.rd = nil
+		// Server-side template registries are per-connection; forget what
+		// this one shipped so a future adapter re-registers from scratch.
+		r.registered = nil
 	}
 }
 
@@ -375,12 +433,6 @@ func (r *RemoteAdapter) closeLocked() {
 func (r *RemoteAdapter) SubmitPayloadCtx(ctx context.Context, device string, payload []byte, format qdmi.ProgramFormat, opts SubmitOptions) (*qpi.Result, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.conn == nil {
-		return nil, fmt.Errorf("client: remote adapter closed")
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("client: remote: %w", err)
-	}
 	req := remoteRequest{
 		Device: device, Pool: opts.Pool, Format: string(format), Payload: string(payload),
 		Shots: opts.Shots, Priority: opts.Priority, Tag: opts.Tag,
@@ -389,6 +441,89 @@ func (r *RemoteAdapter) SubmitPayloadCtx(ctx context.Context, device string, pay
 	if opts.MeasLevel != readout.LevelDiscriminated {
 		req.MeasLevel = opts.MeasLevel.String()
 		req.MeasReturn = opts.MeasReturn.String()
+	}
+	resp, err := r.exchangeLocked(ctx, &req)
+	if err != nil {
+		return nil, err
+	}
+	return resultFromWire(resp, opts)
+}
+
+// RegisterTemplate ships a compiled parametric template to the server,
+// where it lives for the rest of the connection. SubmitBoundCtx registers
+// lazily, so calling this explicitly is only an optimization (front-loading
+// the one large frame before a latency-sensitive sweep).
+func (r *RemoteAdapter) RegisterTemplate(ctx context.Context, compiled *ptemplate.Compiled) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.registerLocked(ctx, compiled)
+}
+
+func (r *RemoteAdapter) registerLocked(ctx context.Context, compiled *ptemplate.Compiled) error {
+	if r.registered[compiled.Fingerprint] {
+		return nil
+	}
+	frame, err := compiled.Encode()
+	if err != nil {
+		return fmt.Errorf("client: remote: %w", err)
+	}
+	req := remoteRequest{Op: "register_template", Template: json.RawMessage(frame)}
+	if _, err := r.exchangeLocked(ctx, &req); err != nil {
+		return err
+	}
+	if r.registered == nil {
+		r.registered = map[string]bool{}
+	}
+	r.registered[compiled.Fingerprint] = true
+	return nil
+}
+
+// SubmitBoundCtx submits one sweep point: the compiled template ships once
+// per connection (first call registers it) and every point afterwards is a
+// small bindings frame referencing it by fingerprint. Bindings are
+// validated locally first, so an out-of-range or non-finite value fails
+// with ptemplate.ErrBadParam before touching the wire.
+func (r *RemoteAdapter) SubmitBoundCtx(ctx context.Context, device string, compiled *ptemplate.Compiled, b ptemplate.Bindings, opts SubmitOptions) (*qpi.Result, error) {
+	if err := compiled.Validate(b); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.registerLocked(ctx, compiled); err != nil {
+		return nil, err
+	}
+	req := remoteRequest{
+		Op: "submit_bound", TemplateID: compiled.Fingerprint, Bindings: b,
+		Device: device, Pool: opts.Pool,
+		Shots: opts.Shots, Priority: opts.Priority, Tag: opts.Tag,
+		CalibrationEpoch: opts.CalibrationEpoch,
+	}
+	if req.CalibrationEpoch == 0 {
+		// Default to the epoch the template was lowered against, so the
+		// scheduler's staleness gate protects bound points automatically.
+		req.CalibrationEpoch = compiled.Epoch
+	}
+	if opts.MeasLevel != readout.LevelDiscriminated {
+		req.MeasLevel = opts.MeasLevel.String()
+		req.MeasReturn = opts.MeasReturn.String()
+	}
+	resp, err := r.exchangeLocked(ctx, &req)
+	if err != nil {
+		return nil, err
+	}
+	return resultFromWire(resp, opts)
+}
+
+// exchangeLocked performs one line-framed request/response round trip on
+// the shared connection; r.mu must be held. The remaining ctx budget ships
+// as the server-side job timeout, and any wire error poisons the
+// connection (see wireError).
+func (r *RemoteAdapter) exchangeLocked(ctx context.Context, req *remoteRequest) (*remoteResponse, error) {
+	if r.conn == nil {
+		return nil, fmt.Errorf("client: remote adapter closed")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("client: remote: %w", err)
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		remaining := time.Until(dl)
@@ -439,6 +574,12 @@ func (r *RemoteAdapter) SubmitPayloadCtx(ctx context.Context, device string, pay
 	if resp.Error != "" {
 		return nil, errorFromWire(resp.ErrorKind, resp.Error)
 	}
+	return &resp, nil
+}
+
+// resultFromWire rebuilds a qpi.Result from a wire response, enforcing
+// that the server honored the requested measurement level.
+func resultFromWire(resp *remoteResponse, opts SubmitOptions) (*qpi.Result, error) {
 	counts := map[uint64]int{}
 	for k, v := range resp.Counts {
 		var mask uint64

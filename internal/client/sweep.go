@@ -1,0 +1,153 @@
+package client
+
+import (
+	"context"
+	"fmt"
+
+	"mqsspulse/internal/ptemplate"
+	"mqsspulse/internal/qpi"
+	"mqsspulse/internal/qrm"
+)
+
+// CompileTemplate lowers a parametric template against a device exactly
+// once per (template fingerprint, device, calibration epoch) and serves
+// every subsequent lookup from the lowering cache. Bound parameter values
+// never enter the cache key, so an N-point sweep costs one compilation:
+// the first lookup records a miss, the remaining N−1 record binds (see
+// CacheStats.Binds), and a calibration-epoch bump invalidates the entry
+// exactly like a concrete payload's.
+func (c *Client) CompileTemplate(t *ptemplate.Template, device string) (*ptemplate.Compiled, error) {
+	dev, err := c.session.Device(device)
+	if err != nil {
+		return nil, err
+	}
+	// Epoch before the cache probe, mirroring compile(): a recalibration
+	// landing mid-lookup can only make the entry look stale.
+	epoch, err := deviceEpoch(dev)
+	if err != nil {
+		return nil, err
+	}
+	key := ""
+	if c.CacheEnabled {
+		key = t.Fingerprint(device)
+		c.mu.Lock()
+		if el, ok := c.loweringCache[key]; ok {
+			entry := el.Value.(*cacheEntry)
+			if entry.tpl != nil && entry.epoch == epoch {
+				// Cache-hot template: this sweep point is a bind, not a
+				// compile — the distinction CacheStats.Binds exists to show.
+				c.cacheStats.Binds++
+				c.lruList.MoveToFront(el)
+				c.mu.Unlock()
+				return entry.tpl, nil
+			}
+			// Compiled against a calibration the device has left (or the key
+			// collided with a non-template entry): drop and recompile.
+			c.removeLocked(el)
+			c.cacheStats.Invalidations++
+		}
+		c.cacheStats.Misses++
+		c.mu.Unlock()
+	}
+	compiled, err := ptemplate.Lower(t, dev, device)
+	if err != nil {
+		return nil, err
+	}
+	if c.CacheEnabled {
+		c.mu.Lock()
+		if el, ok := c.loweringCache[key]; ok {
+			// A concurrent lowering of the same template won the race; keep
+			// its entry and just refresh recency.
+			c.lruList.MoveToFront(el)
+			if entry := el.Value.(*cacheEntry); entry.tpl != nil {
+				compiled = entry.tpl
+			}
+		} else {
+			entry := &cacheEntry{key: key, format: compiled.Format, epoch: compiled.Epoch, tpl: compiled}
+			c.loweringCache[key] = c.lruList.PushFront(entry)
+			c.templateEntries++
+			c.evictLocked()
+		}
+		c.mu.Unlock()
+	}
+	return compiled, nil
+}
+
+// SubmitSweepCtx enqueues one job per sweep point: the template lowers at
+// most once (served cache-hot afterwards, see CompileTemplate) and each
+// point ships as a (compiled template, bindings) pair that the scheduler
+// binds at dispatch time — after the calibration-epoch gate. The returned
+// slices are parallel to bindings; a point with an out-of-range or
+// non-finite value fails in place with ptemplate.ErrBadParam before
+// reaching the scheduler queue, without sinking its siblings.
+func (c *Client) SubmitSweepCtx(ctx context.Context, t *ptemplate.Template, device string,
+	bindings []ptemplate.Bindings, opts SubmitOptions) ([]*qrm.Ticket, []error) {
+
+	tickets := make([]*qrm.Ticket, len(bindings))
+	errs := make([]error, len(bindings))
+	fail := func(err error) ([]*qrm.Ticket, []error) {
+		for i := range errs {
+			errs[i] = err
+		}
+		return tickets, errs
+	}
+	if opts.Shots <= 0 {
+		opts.Shots = qpi.DefaultShots
+	}
+	if err := ctx.Err(); err != nil {
+		return fail(fmt.Errorf("client: sweep: %w", err))
+	}
+	target, err := c.compileTarget(device, opts)
+	if err != nil {
+		return fail(err)
+	}
+	for i, b := range bindings {
+		// Per-point template lookup: point 0 compiles, the rest bind. Going
+		// through the cache each iteration (rather than hoisting one compile)
+		// keeps a mid-sweep recalibration from dispatching stale points —
+		// the invalidated entry recompiles at the new epoch.
+		compiled, err := c.CompileTemplate(t, target)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		req := qrm.Request{
+			Device: device, Template: compiled, Bindings: b,
+			Shots: opts.Shots, Priority: opts.Priority, Tag: opts.Tag,
+			MeasLevel: opts.MeasLevel, MeasReturn: opts.MeasReturn,
+			CalibrationEpoch: compiled.Epoch, CompiledFor: target,
+		}
+		if opts.Pool != "" {
+			req.Device, req.Pool = "", opts.Pool
+		}
+		tickets[i], errs[i] = c.qrm.SubmitCtx(ctx, req)
+	}
+	return tickets, errs
+}
+
+// RunSweep submits every sweep point and waits for all of them — the
+// synchronous calibration-loop entry point (Rabi, Ramsey, DRAG tune-ups).
+// The result slice is parallel to bindings; per-point failures (including
+// ptemplate.ErrBadParam validation rejections) surface in place.
+func (c *Client) RunSweep(ctx context.Context, t *ptemplate.Template, device string,
+	bindings []ptemplate.Bindings, opts SubmitOptions) ([]BatchResult, error) {
+
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("client: sweep: %w", err)
+	}
+	tickets, errs := c.SubmitSweepCtx(ctx, t, device, bindings, opts)
+	out := make([]BatchResult, len(bindings))
+	for i, tk := range tickets {
+		if tk == nil {
+			out[i].Err = errs[i]
+			continue
+		}
+		res, err := tk.Wait(ctx)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i].Result = resultFromQDMI(res)
+	}
+	return out, nil
+}

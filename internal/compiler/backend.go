@@ -41,14 +41,16 @@ func Backend(m *mlir.Module, dev qdmi.Device) (*qir.Module, error) {
 	}
 	out.NumPorts = len(out.PortNames)
 
-	// Waveform constants.
+	// Waveform constants. Parametric defs keep their amplitude slot: the
+	// stored samples are the base envelope until Bind scales them.
 	wfOfValue := map[string]string{}
 	for _, def := range m.WaveformDefs {
 		w, err := def.Spec.Materialize()
 		if err != nil {
 			return nil, err
 		}
-		out.Waveforms = append(out.Waveforms, qir.WaveformConst{Name: def.Name, Samples: w.Samples})
+		out.Waveforms = append(out.Waveforms, qir.WaveformConst{
+			Name: def.Name, Samples: w.Samples, AmpExpr: qexpr(def.AmpExpr)})
 	}
 
 	// Site lookup for residual gate ops.
@@ -77,6 +79,18 @@ func Backend(m *mlir.Module, dev qdmi.Device) (*qir.Module, error) {
 		}
 		return v.Lit, nil
 	}
+	// f64Arg lowers an f64 operand: unbound expression slots become
+	// expression-carrying QIR args for Bind to evaluate.
+	f64Arg := func(v mlir.Value) (qir.Arg, error) {
+		if v.Expr != nil {
+			return qir.Arg{Kind: qir.ArgF64, Expr: qexpr(v.Expr)}, nil
+		}
+		f, err := lit(v)
+		if err != nil {
+			return qir.Arg{}, err
+		}
+		return qir.F64Arg(f), nil
+	}
 
 	maxQubit := int64(-1)
 	nextResult := int64(0)
@@ -93,47 +107,51 @@ func Backend(m *mlir.Module, dev qdmi.Device) (*qir.Module, error) {
 			out.Body = append(out.Body, qir.Call{Callee: qir.IntrPlay,
 				Args: []qir.Arg{qir.PortArg(frameHandle[o.Frame.Ref]), qir.WaveformArg(sym)}})
 		case *mlir.FrameChangeOp:
-			f, err := lit(o.Freq)
+			f, err := f64Arg(o.Freq)
 			if err != nil {
 				return nil, err
 			}
-			p, err := lit(o.Phase)
+			p, err := f64Arg(o.Phase)
 			if err != nil {
 				return nil, err
 			}
 			out.Body = append(out.Body, qir.Call{Callee: qir.IntrFrameChange,
-				Args: []qir.Arg{qir.PortArg(frameHandle[o.Frame.Ref]), qir.F64Arg(f), qir.F64Arg(p)}})
+				Args: []qir.Arg{qir.PortArg(frameHandle[o.Frame.Ref]), f, p}})
 		case *mlir.ShiftPhaseOp:
-			p, err := lit(o.Phase)
+			p, err := f64Arg(o.Phase)
 			if err != nil {
 				return nil, err
 			}
 			out.Body = append(out.Body, qir.Call{Callee: qir.IntrShiftPhase,
-				Args: []qir.Arg{qir.PortArg(frameHandle[o.Frame.Ref]), qir.F64Arg(p)}})
+				Args: []qir.Arg{qir.PortArg(frameHandle[o.Frame.Ref]), p}})
 		case *mlir.SetPhaseOp:
-			p, err := lit(o.Phase)
+			p, err := f64Arg(o.Phase)
 			if err != nil {
 				return nil, err
 			}
 			out.Body = append(out.Body, qir.Call{Callee: qir.IntrSetPhase,
-				Args: []qir.Arg{qir.PortArg(frameHandle[o.Frame.Ref]), qir.F64Arg(p)}})
+				Args: []qir.Arg{qir.PortArg(frameHandle[o.Frame.Ref]), p}})
 		case *mlir.ShiftFrequencyOp:
-			f, err := lit(o.Freq)
+			f, err := f64Arg(o.Freq)
 			if err != nil {
 				return nil, err
 			}
 			out.Body = append(out.Body, qir.Call{Callee: qir.IntrShiftFrequency,
-				Args: []qir.Arg{qir.PortArg(frameHandle[o.Frame.Ref]), qir.F64Arg(f)}})
+				Args: []qir.Arg{qir.PortArg(frameHandle[o.Frame.Ref]), f}})
 		case *mlir.SetFrequencyOp:
-			f, err := lit(o.Freq)
+			f, err := f64Arg(o.Freq)
 			if err != nil {
 				return nil, err
 			}
 			out.Body = append(out.Body, qir.Call{Callee: qir.IntrSetFrequency,
-				Args: []qir.Arg{qir.PortArg(frameHandle[o.Frame.Ref]), qir.F64Arg(f)}})
+				Args: []qir.Arg{qir.PortArg(frameHandle[o.Frame.Ref]), f}})
 		case *mlir.DelayOp:
+			samples := qir.I64Arg(o.Samples)
+			if o.SamplesExpr != nil {
+				samples = qir.Arg{Kind: qir.ArgI64, Expr: qexpr(o.SamplesExpr)}
+			}
 			out.Body = append(out.Body, qir.Call{Callee: qir.IntrDelay,
-				Args: []qir.Arg{qir.PortArg(frameHandle[o.Frame.Ref]), qir.I64Arg(o.Samples)}})
+				Args: []qir.Arg{qir.PortArg(frameHandle[o.Frame.Ref]), samples}})
 		case *mlir.BarrierOp:
 			var args []qir.Arg
 			for _, f := range o.Frames {
@@ -153,6 +171,12 @@ func Backend(m *mlir.Module, dev qdmi.Device) (*qir.Module, error) {
 			out.Body = append(out.Body, qir.Call{Callee: qir.IntrCapture,
 				Args: []qir.Arg{qir.PortArg(frameHandle[o.Frame.Ref]), qir.ResultArg(r), qir.I64Arg(o.Samples)}})
 		case *mlir.StandardGateOp:
+			for _, e := range o.ParamExprs {
+				if e != nil {
+					return nil, fmt.Errorf("compiler: gate %q still carries symbolic parameter %q at emission time (lowering did not run?)",
+						o.Gate, e.Param)
+				}
+			}
 			callee, ok := qir.GateIntrinsics[o.Gate]
 			if !ok {
 				return nil, fmt.Errorf("compiler: gate %q has no QIS intrinsic", o.Gate)
@@ -187,6 +211,14 @@ func Backend(m *mlir.Module, dev qdmi.Device) (*qir.Module, error) {
 		return nil, fmt.Errorf("compiler: backend produced invalid QIR: %w", err)
 	}
 	return out, nil
+}
+
+// qexpr converts an MLIR parameter expression to its QIR form (nil-safe).
+func qexpr(e *mlir.ParamExpr) *qir.ParamExpr {
+	if e == nil {
+		return nil
+	}
+	return &qir.ParamExpr{Param: e.Param, Scale: e.Scale, Offset: e.Offset}
 }
 
 func sortPortArgs(args []qir.Arg) {
@@ -243,7 +275,11 @@ func Compile(c *qpi.Circuit, dev qdmi.Device) (*Result, error) {
 	}
 	res.Timings.Backend = time.Since(t2)
 	res.QIR = q
-	res.Payload = []byte(q.Emit())
+	if !q.IsParametric() {
+		// A parametric module has no concrete payload until Bind; leaving
+		// Payload nil forces callers through the template bind path.
+		res.Payload = []byte(q.Emit())
+	}
 	return res, nil
 }
 

@@ -140,11 +140,19 @@ func Frontend(c *qpi.Circuit, dev qdmi.Device) (*mlir.Module, error) {
 		seq.ArgPorts = append(seq.ArgPorts, port)
 	}
 
-	// Waveform defs from the kernel.
+	// Waveform defs from the kernel. A WaveformEnvelopeP definition carries
+	// an amplitude slot on its defining op; attach it to the def.
+	ampOf := map[string]*qpi.ParamExpr{}
+	for _, op := range c.Ops {
+		if op.Kind == qpi.OpWaveformDef && op.AmpExpr != nil {
+			ampOf[op.WaveformName] = op.AmpExpr
+		}
+	}
 	for name, w := range c.Waveforms {
 		spec := w.ToSpec()
 		spec.Name = name
-		m.WaveformDefs = append(m.WaveformDefs, &mlir.WaveformDef{Name: name, Spec: spec})
+		m.WaveformDefs = append(m.WaveformDefs, &mlir.WaveformDef{
+			Name: name, Spec: spec, AmpExpr: mexpr(ampOf[name])})
 	}
 	// Deterministic def order (map iteration is random).
 	sortWaveformDefs(m.WaveformDefs)
@@ -165,8 +173,12 @@ func Frontend(c *qpi.Circuit, dev qdmi.Device) (*mlir.Module, error) {
 			for i, q := range op.Qubits {
 				frames[i] = plan.frame(topo.drive[q])
 			}
-			seq.Ops = append(seq.Ops, &mlir.StandardGateOp{
-				Gate: op.Gate, Frames: frames, Params: append([]float64(nil), op.Params...)})
+			sg := &mlir.StandardGateOp{
+				Gate: op.Gate, Frames: frames, Params: append([]float64(nil), op.Params...)}
+			if op.AngleExpr != nil {
+				sg.ParamExprs = []*mlir.ParamExpr{mexpr(op.AngleExpr)}
+			}
+			seq.Ops = append(seq.Ops, sg)
 		case qpi.OpWaveformDef:
 			nextVal++
 			val := fmt.Sprintf("w%d", nextVal)
@@ -179,13 +191,22 @@ func Frontend(c *qpi.Circuit, dev qdmi.Device) (*mlir.Module, error) {
 			}
 			seq.Ops = append(seq.Ops, &mlir.PlayOp{Frame: plan.frame(op.Port), Waveform: v})
 		case qpi.OpFrameChange:
-			seq.Ops = append(seq.Ops, &mlir.FrameChangeOp{
+			fc := &mlir.FrameChangeOp{
 				Frame: plan.frame(op.Port),
 				Freq:  mlir.Lit(op.FrequencyHz),
 				Phase: mlir.Lit(op.PhaseRad),
-			})
+			}
+			if op.FreqExpr != nil {
+				fc.Freq = mlir.ExprVal(mexpr(op.FreqExpr))
+			}
+			if op.PhaseExpr != nil {
+				fc.Phase = mlir.ExprVal(mexpr(op.PhaseExpr))
+			}
+			seq.Ops = append(seq.Ops, fc)
 		case qpi.OpDelay:
-			seq.Ops = append(seq.Ops, &mlir.DelayOp{Frame: plan.frame(op.Port), Samples: op.DelaySamples})
+			seq.Ops = append(seq.Ops, &mlir.DelayOp{
+				Frame: plan.frame(op.Port), Samples: op.DelaySamples,
+				SamplesExpr: mexpr(op.DelayExpr)})
 		case qpi.OpBarrier:
 			seq.Ops = append(seq.Ops, &mlir.BarrierOp{}) // all frames
 		case qpi.OpMeasure:
@@ -232,3 +253,11 @@ func sortWaveformDefs(defs []*mlir.WaveformDef) {
 
 // angleOK rejects non-finite gate parameters early.
 func angleOK(p float64) bool { return !math.IsNaN(p) && !math.IsInf(p, 0) }
+
+// mexpr converts a QPI parameter expression to its MLIR form (nil-safe).
+func mexpr(e *qpi.ParamExpr) *mlir.ParamExpr {
+	if e == nil {
+		return nil
+	}
+	return &mlir.ParamExpr{Param: e.Param, Scale: e.Scale, Offset: e.Offset}
+}

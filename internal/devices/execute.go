@@ -321,6 +321,46 @@ func (d *SimDevice) SubmitJobOpts(payload []byte, format qdmi.ProgramFormat, opt
 	return job, nil
 }
 
+// SubmitModule implements the qdmi.ModuleSubmitter capability: the
+// bind-aware execution path of the template subsystem. Bound sweep points
+// arrive as in-memory QIR modules and skip the emit-text/parse-text round
+// trip SubmitJobOpts pays per payload; everything downstream of parsing is
+// identical (same binding, same job RNG stream, same runJob pipeline).
+func (d *SimDevice) SubmitModule(mod *qir.Module, opts qdmi.JobOptions) (qdmi.Job, error) {
+	if mod == nil {
+		return nil, fmt.Errorf("%w: nil module", qdmi.ErrInvalidArgument)
+	}
+	if mod.IsParametric() {
+		return nil, fmt.Errorf("%w: module %q still carries unbound parameters %v",
+			qdmi.ErrInvalidArgument, mod.ID, mod.ParamNames())
+	}
+	if err := mod.Verify(); err != nil {
+		return nil, fmt.Errorf("%w: %v", qdmi.ErrInvalidArgument, err)
+	}
+	shots := opts.Shots
+	if shots <= 0 || shots > d.cfg.MaxShots {
+		return nil, fmt.Errorf("%w: shots %d outside (0, %d]", qdmi.ErrInvalidArgument, shots, d.cfg.MaxShots)
+	}
+	switch opts.MeasLevel {
+	case readout.LevelDiscriminated, readout.LevelKerneled, readout.LevelRaw:
+	default:
+		return nil, fmt.Errorf("%w: measurement level %v", qdmi.ErrInvalidArgument, opts.MeasLevel)
+	}
+	binding, err := d.Binding(mod.PortNames)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.nextJob++
+	id := fmt.Sprintf("%s-job-%d", d.cfg.Name, d.nextJob)
+	seed := d.jobRng.Int63()
+	d.mu.Unlock()
+
+	job := qdmi.NewAsyncJob(id)
+	go d.runJob(job, mod, binding, opts, seed)
+	return job, nil
+}
+
 // readoutModel builds the per-site IQ synthesis model from the device's
 // true physics (drifting fidelity is not modeled; the believed calibration
 // table plays no role here — readout errors are physical).

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mqsspulse/internal/compiler"
+	"mqsspulse/internal/devices"
+	"mqsspulse/internal/ptemplate"
+	"mqsspulse/internal/qpi"
+)
+
+// sweepBenchAngles spreads n sweep points across the normalization-free
+// rotation interval (0, π], matching what a Rabi amplitude scan drives.
+func sweepBenchAngles(n int) []float64 {
+	angles := make([]float64, n)
+	for i := range angles {
+		angles[i] = math.Pi * float64(i+1) / float64(n)
+	}
+	return angles
+}
+
+// sweepBenchKernel builds the one-qubit Rabi point kernel at a concrete
+// rotation angle — the per-point artifact the recompile baseline rebuilds
+// from scratch on every iteration.
+func sweepBenchKernel(theta float64) (*qpi.Circuit, error) {
+	c := qpi.NewCircuit("rabi_point", 1, 1).RX(0, theta).Measure(0, 0)
+	if err := c.End(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// SweepBenchRig builds the deferred-binding benchmark fixture: an n-point
+// Rabi angle sweep producing device-ready artifacts two ways. The bound
+// closure lowers the parametric template once up front and then binds each
+// point into the concrete qir.Module the scheduler hands straight to a
+// qdmi.ModuleSubmitter device — the template dispatch path never
+// textualizes. The recompile closure rebuilds and fully recompiles a
+// concrete kernel per point into exchange-format payload bytes — the
+// per-point baseline the paper's calibration loops start from. The two
+// paths yield byte-identical programs point for point (pinned by the
+// client-side sweep e2e test), so the benchmark compares pure overhead.
+func SweepBenchRig(points int) (bound func() error, recompile func() error, err error) {
+	dev, err := devices.Superconducting("sweep-bench-sc", 2, 7)
+	if err != nil {
+		return nil, nil, err
+	}
+	angles := sweepBenchAngles(points)
+
+	k := qpi.NewCircuit("rabi_sweep", 1, 1).RXP(0, qpi.Sym("theta")).Measure(0, 0)
+	if err := k.End(); err != nil {
+		return nil, nil, err
+	}
+	tpl, err := ptemplate.New(k, ptemplate.Param{Name: "theta", Min: angles[0], Max: math.Pi})
+	if err != nil {
+		return nil, nil, err
+	}
+	compiled, err := ptemplate.Lower(tpl, dev, "sweep-bench-sc")
+	if err != nil {
+		return nil, nil, err
+	}
+
+	bound = func() error {
+		for _, theta := range angles {
+			mod, err := compiled.Bind(ptemplate.Bindings{"theta": theta})
+			if err != nil {
+				return err
+			}
+			if mod.IsParametric() {
+				return fmt.Errorf("experiments: unbound slots survived bind at theta=%g", theta)
+			}
+		}
+		return nil
+	}
+	recompile = func() error {
+		for _, theta := range angles {
+			c, err := sweepBenchKernel(theta)
+			if err != nil {
+				return err
+			}
+			res, err := compiler.Compile(c, dev)
+			if err != nil {
+				return err
+			}
+			if len(res.Payload) == 0 {
+				return fmt.Errorf("experiments: empty compiled payload at theta=%g", theta)
+			}
+		}
+		return nil
+	}
+	return bound, recompile, nil
+}

@@ -13,6 +13,11 @@ import (
 type WaveformDef struct {
 	Name string
 	Spec waveform.Spec
+	// AmpExpr, when non-nil, marks the definition as an unbound template
+	// slot: the stored samples are the base envelope, multiplied by the
+	// expression's bound value at bind time. Legalization (padding) applies
+	// to the base samples and preserves the slot.
+	AmpExpr *ParamExpr
 }
 
 // Sequence is a pulse.sequence: the pulse-level analogue of a function. Its
@@ -120,6 +125,9 @@ func (m *Module) verifySequence(s *Sequence) error {
 	}
 
 	checkFrame := func(v Value) error {
+		if v.Expr != nil {
+			return fmt.Errorf("frame operand cannot be a parameter expression")
+		}
 		if !v.IsRef {
 			return fmt.Errorf("frame operand must be a value reference, got literal %g", v.Lit)
 		}
@@ -133,6 +141,15 @@ func (m *Module) verifySequence(s *Sequence) error {
 		return nil
 	}
 	checkF64 := func(v Value) error {
+		if v.Expr != nil {
+			if v.IsRef {
+				return fmt.Errorf("operand is both a value reference and a parameter expression")
+			}
+			if v.Expr.Param == "" {
+				return fmt.Errorf("parameter expression with empty parameter name")
+			}
+			return nil
+		}
 		if !v.IsRef {
 			return nil
 		}
@@ -156,6 +173,9 @@ func (m *Module) verifySequence(s *Sequence) error {
 		case *StandardGateOp:
 			if len(o.Frames) == 0 {
 				return fmt.Errorf("op %d: gate with no frames", oi)
+			}
+			if len(o.ParamExprs) > len(o.Params) {
+				return fmt.Errorf("op %d: %d param exprs for %d params", oi, len(o.ParamExprs), len(o.Params))
 			}
 			for _, f := range o.Frames {
 				if err := checkFrame(f); err != nil {
@@ -223,7 +243,11 @@ func (m *Module) verifySequence(s *Sequence) error {
 			if err := checkFrame(o.Frame); err != nil {
 				return fmt.Errorf("op %d: %w", oi, err)
 			}
-			if o.Samples < 0 {
+			if o.SamplesExpr != nil {
+				if o.SamplesExpr.Param == "" {
+					return fmt.Errorf("op %d: delay parameter expression with empty name", oi)
+				}
+			} else if o.Samples < 0 {
 				return fmt.Errorf("op %d: negative delay", oi)
 			}
 		case *BarrierOp:
@@ -291,6 +315,9 @@ func (m *Module) Print() string {
 func renderWaveformDef(w *WaveformDef) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "pulse.def @%s", w.Name)
+	if w.AmpExpr != nil {
+		fmt.Fprintf(&sb, " amp = %s", w.AmpExpr)
+	}
 	if w.Spec.Kind != "" {
 		fmt.Fprintf(&sb, " kind = %q length = %d params = {", w.Spec.Kind, w.Spec.Length)
 		first := true

@@ -21,6 +21,10 @@ type StandardGateOp struct {
 	Gate   string  // x, y, z, h, sx, rx, ry, rz, cz, cx, iswap
 	Frames []Value // one mixed frame per operand qubit
 	Params []float64
+	// ParamExprs, when non-empty, parallels Params; a non-nil entry marks
+	// that parameter as an unbound template slot (the literal in Params is
+	// then a placeholder). Only rx/ry/rz lowerings accept symbolic angles.
+	ParamExprs []*ParamExpr
 }
 
 // OpName implements Op.
@@ -36,7 +40,11 @@ func (o *StandardGateOp) Render() string {
 	if len(o.Params) > 0 {
 		ps := make([]string, len(o.Params))
 		for i, p := range o.Params {
-			ps[i] = fmt.Sprintf("%g", p)
+			if i < len(o.ParamExprs) && o.ParamExprs[i] != nil {
+				ps[i] = o.ParamExprs[i].String()
+			} else {
+				ps[i] = fmt.Sprintf("%g", p)
+			}
 		}
 		s += fmt.Sprintf(" {params = [%s]}", strings.Join(ps, ", "))
 	}
@@ -164,6 +172,10 @@ func (o *SetFrequencyOp) isOp() {}
 type DelayOp struct {
 	Frame   Value
 	Samples int64
+	// SamplesExpr, when non-nil, makes the sample count an unbound template
+	// slot (Samples is then a placeholder); the bound value rounds to the
+	// nearest non-negative integer.
+	SamplesExpr *ParamExpr
 }
 
 // OpName implements Op.
@@ -171,6 +183,9 @@ func (o *DelayOp) OpName() string { return "pulse.delay" }
 
 // Render implements Op.
 func (o *DelayOp) Render() string {
+	if o.SamplesExpr != nil {
+		return fmt.Sprintf("pulse.delay(%s, %s)", o.Frame, o.SamplesExpr)
+	}
 	return fmt.Sprintf("pulse.delay(%s, %d)", o.Frame, o.Samples)
 }
 

@@ -58,12 +58,17 @@ func ParseType(s string) (Type, error) {
 	}
 }
 
-// Value is an SSA-ish operand: either a reference to a named value
-// (sequence argument or op result, written %name) or an f64 literal.
+// Value is an SSA-ish operand: a reference to a named value (sequence
+// argument or op result, written %name), an f64 literal, or — on the
+// deferred-binding template path — an unbound affine parameter expression.
 type Value struct {
 	IsRef bool
 	Ref   string  // without the leading %
-	Lit   float64 // used when !IsRef
+	Lit   float64 // used when !IsRef and Expr == nil
+	// Expr, when non-nil, marks the operand as an unbound parameter slot;
+	// it is mutually exclusive with IsRef. Canonicalization never folds
+	// expression operands, and the backend forwards them into QIR args.
+	Expr *ParamExpr
 }
 
 // Ref makes a value reference.
@@ -76,6 +81,9 @@ func Lit(v float64) Value { return Value{Lit: v} }
 func (v Value) String() string {
 	if v.IsRef {
 		return "%" + v.Ref
+	}
+	if v.Expr != nil {
+		return v.Expr.String()
 	}
 	return fmt.Sprintf("%g", v.Lit)
 }

@@ -44,12 +44,13 @@ func canonicalizeOps(ops []mlir.Op, ctx *Context) []mlir.Op {
 	for _, op := range ops {
 		switch o := op.(type) {
 		case *mlir.ShiftPhaseOp:
-			if !o.Phase.IsRef && o.Phase.Lit == 0 {
+			if !o.Phase.IsRef && o.Phase.Expr == nil && o.Phase.Lit == 0 {
 				removed++
 				continue
 			}
 			if prev, ok := last().(*mlir.ShiftPhaseOp); ok &&
-				prev.Frame == o.Frame && !prev.Phase.IsRef && !o.Phase.IsRef {
+				prev.Frame == o.Frame && !prev.Phase.IsRef && !o.Phase.IsRef &&
+				prev.Phase.Expr == nil && o.Phase.Expr == nil {
 				pop()
 				sum := wrap(prev.Phase.Lit + o.Phase.Lit)
 				removed++
@@ -62,7 +63,9 @@ func canonicalizeOps(ops []mlir.Op, ctx *Context) []mlir.Op {
 		case *mlir.FrameChangeOp:
 			if prev, ok := last().(*mlir.FrameChangeOp); ok &&
 				prev.Frame == o.Frame &&
-				!prev.Freq.IsRef && !prev.Phase.IsRef && !o.Freq.IsRef && !o.Phase.IsRef {
+				!prev.Freq.IsRef && !prev.Phase.IsRef && !o.Freq.IsRef && !o.Phase.IsRef &&
+				prev.Freq.Expr == nil && prev.Phase.Expr == nil &&
+				o.Freq.Expr == nil && o.Phase.Expr == nil {
 				pop()
 				removed++
 				push(&mlir.FrameChangeOp{
@@ -74,11 +77,12 @@ func canonicalizeOps(ops []mlir.Op, ctx *Context) []mlir.Op {
 			}
 			push(op)
 		case *mlir.DelayOp:
-			if o.Samples == 0 {
+			if o.SamplesExpr == nil && o.Samples == 0 {
 				removed++
 				continue
 			}
-			if prev, ok := last().(*mlir.DelayOp); ok && prev.Frame == o.Frame {
+			if prev, ok := last().(*mlir.DelayOp); ok && prev.Frame == o.Frame &&
+				prev.SamplesExpr == nil && o.SamplesExpr == nil {
 				pop()
 				removed++
 				push(&mlir.DelayOp{Frame: o.Frame, Samples: prev.Samples + o.Samples})

@@ -82,14 +82,16 @@ func (l *lowerer) indexPorts() error {
 	return nil
 }
 
-// freshWaveform installs a waveform def and returns a ref op + value.
-func (l *lowerer) freshWaveform(w *waveform.Waveform) (*mlir.WaveformRefOp, mlir.Value) {
+// freshWaveform installs a waveform def and returns a ref op + value. A
+// non-nil amp marks the def as a deferred-binding slot: the stored samples
+// are the base envelope, multiplied by the bound expression value.
+func (l *lowerer) freshWaveform(w *waveform.Waveform, amp *mlir.ParamExpr) (*mlir.WaveformRefOp, mlir.Value) {
 	l.nextWf++
 	defName := fmt.Sprintf("lowered_wf_%d", l.nextWf)
 	valName := fmt.Sprintf("lw%d", l.nextWf)
 	spec := w.ToSpec()
 	spec.Name = defName
-	l.m.WaveformDefs = append(l.m.WaveformDefs, &mlir.WaveformDef{Name: defName, Spec: spec})
+	l.m.WaveformDefs = append(l.m.WaveformDefs, &mlir.WaveformDef{Name: defName, Spec: spec, AmpExpr: amp})
 	return &mlir.WaveformRefOp{Result: valName, Waveform: defName}, mlir.Ref(valName)
 }
 
@@ -191,11 +193,43 @@ func (l *lowerer) rotation(frame mlir.Value, site int, angle, axisPhase float64)
 	if err != nil {
 		return nil, err
 	}
-	scaled, err := env.Scale(complex(angle/math.Pi, 0))
+	// angle*(1/π), not angle/π: the symbolic path folds 1/π into the
+	// expression's Scale coefficient, and x*(1/π) is the bit-exact product
+	// that path reproduces at bind time — keeping bound payloads
+	// byte-identical to per-point-compiled ones.
+	scaled, err := env.Scale(complex(angle*(1/math.Pi), 0))
 	if err != nil {
 		return nil, err
 	}
-	refOp, val := l.freshWaveform(scaled)
+	refOp, val := l.freshWaveform(scaled, nil)
+	var ops []mlir.Op
+	if axisPhase != 0 {
+		ops = append(ops, &mlir.ShiftPhaseOp{Frame: frame, Phase: mlir.Lit(wrap(axisPhase))})
+	}
+	ops = append(ops, refOp, &mlir.PlayOp{Frame: frame, Waveform: val})
+	if axisPhase != 0 {
+		ops = append(ops, &mlir.ShiftPhaseOp{Frame: frame, Phase: mlir.Lit(wrap(-axisPhase))})
+	}
+	return ops, nil
+}
+
+// rotationSym is the deferred-binding analogue of rotation: the drive
+// amplitude becomes an unbound slot scaling the calibrated π envelope. The
+// symbolic angle carries no normalization (sign flip, mod 2π, >π fold), so
+// template compilation restricts symbolic rx/ry angles to (0, π] — the
+// interval on which the concrete path applies no normalization either,
+// keeping bind(θ) byte-identical to a fresh compile at θ.
+func (l *lowerer) rotationSym(frame mlir.Value, site int, angle *mlir.ParamExpr, axisPhase float64) ([]mlir.Op, error) {
+	env, err := l.xEnvelope(site)
+	if err != nil {
+		return nil, err
+	}
+	amp := &mlir.ParamExpr{
+		Param:  angle.Param,
+		Scale:  angle.Scale * (1 / math.Pi),
+		Offset: angle.Offset * (1 / math.Pi),
+	}
+	refOp, val := l.freshWaveform(env, amp)
 	var ops []mlir.Op
 	if axisPhase != 0 {
 		ops = append(ops, &mlir.ShiftPhaseOp{Frame: frame, Phase: mlir.Lit(wrap(axisPhase))})
@@ -224,6 +258,17 @@ func (l *lowerer) lowerGate(seq *mlir.Sequence, framePort map[string]string, fra
 	theta := 0.0
 	if len(g.Params) > 0 {
 		theta = g.Params[0]
+	}
+	var thetaExpr *mlir.ParamExpr
+	if len(g.ParamExprs) > 0 {
+		thetaExpr = g.ParamExprs[0]
+	}
+	if thetaExpr != nil {
+		switch g.Gate {
+		case "rx", "ry", "rz":
+		default:
+			return nil, fmt.Errorf("gate %q does not accept a symbolic angle", g.Gate)
+		}
 	}
 	oneQubit := func() (mlir.Value, int, error) {
 		if len(g.Frames) != 1 {
@@ -257,17 +302,28 @@ func (l *lowerer) lowerGate(seq *mlir.Sequence, framePort map[string]string, fra
 		if err != nil {
 			return nil, err
 		}
+		if thetaExpr != nil {
+			return l.rotationSym(f, site, thetaExpr, 0)
+		}
 		return l.rotation(f, site, theta, 0)
 	case "ry":
 		f, site, err := oneQubit()
 		if err != nil {
 			return nil, err
 		}
+		if thetaExpr != nil {
+			return l.rotationSym(f, site, thetaExpr, math.Pi/2)
+		}
 		return l.rotation(f, site, theta, math.Pi/2)
 	case "z", "s", "t", "rz":
 		f, _, err := oneQubit()
 		if err != nil {
 			return nil, err
+		}
+		if thetaExpr != nil {
+			// Virtual Z with a symbolic angle: the phase slot stays unbound
+			// (negated, unwrapped — phase accumulation is mod 2π downstream).
+			return []mlir.Op{&mlir.ShiftPhaseOp{Frame: f, Phase: mlir.ExprVal(thetaExpr.Neg())}}, nil
 		}
 		phase := map[string]float64{"z": math.Pi, "s": math.Pi / 2, "t": math.Pi / 4, "rz": theta}[g.Gate]
 		if phase == 0 {
@@ -324,7 +380,7 @@ func (l *lowerer) lowerGate(seq *mlir.Sequence, framePort map[string]string, fra
 				if err != nil {
 					return nil, err
 				}
-				refOp, val := l.freshWaveform(w)
+				refOp, val := l.freshWaveform(w, nil)
 				czOps = append(czOps, refOp, &mlir.PlayOp{Frame: couplerFrame, Waveform: val})
 			case "shift_phase":
 				czOps = append(czOps, &mlir.ShiftPhaseOp{Frame: couplerFrame, Phase: mlir.Lit(st.PhaseRad)})

@@ -120,6 +120,10 @@ func verifyLoweredSequence(m *mlir.Module, seq *mlir.Sequence, dev qdmi.Device) 
 				return plays, err
 			}
 			maxAmp := portMaxAmplitude(dev, pid)
+			// For parametric defs (AmpExpr set) the materialized samples are
+			// the base envelope — the |scale|=1 worst case; template
+			// compilation bounds |scale| ≤ 1 over the declared range, so the
+			// base peak dominates every bound peak.
 			if peak := w.PeakAmplitude(); peak > maxAmp+1e-12 {
 				return plays, fmt.Errorf("lowered waveform @%s peak %.6g exceeds port %s amplitude limit %g",
 					name, peak, pid, maxAmp)
@@ -132,6 +136,12 @@ func verifyLoweredSequence(m *mlir.Module, seq *mlir.Sequence, dev qdmi.Device) 
 			pid, err := portOf(o.Frame)
 			if err != nil {
 				return plays, err
+			}
+			if o.SamplesExpr != nil {
+				// Unbound delay length: timing is unknown until bind, so the
+				// overlap replay below would be meaningless for this sequence.
+				schedulable = false
+				continue
 			}
 			if err := sched.Append(&pulse.Delay{Port: pid, Samples: o.Samples}); err != nil {
 				return plays, err

@@ -1,0 +1,99 @@
+package ptemplate
+
+import (
+	"errors"
+	"fmt"
+
+	"mqsspulse/internal/compiler"
+	"mqsspulse/internal/qdmi"
+	"mqsspulse/internal/qir"
+)
+
+// Compiled is a lowered template: a parametric QIR module with unbound
+// slots plus the metadata needed to bind, dispatch, and invalidate it. It
+// is valid for exactly one (device, calibration epoch) pair — the epoch is
+// read before lowering, so a recalibration landing mid-compile can only
+// make the artifact look stale, never silently fresh.
+type Compiled struct {
+	// Fingerprint is the template's cache/wire identity (see
+	// Template.Fingerprint); bound values never contribute to it.
+	Fingerprint string
+	// Device is the target the template was lowered against.
+	Device string
+	// Epoch is the device's calibration epoch at lowering time; zero means
+	// the device is epoch-unaware and staleness checks are skipped.
+	Epoch int64
+	// Format is the QDMI submission format of bound payloads.
+	Format qdmi.ProgramFormat
+	// Params is the declared parameter space, carried along so a Compiled
+	// decoded from the wire can validate bindings without the Template.
+	Params []Param
+	// Module is the parametric QIR payload.
+	Module *qir.Module
+}
+
+// Lower compiles the template against a device exactly once, producing the
+// parametric payload every subsequent Bind reuses. deviceName is the
+// QRM-visible target name recorded for dispatch and fingerprinting.
+func Lower(t *Template, dev qdmi.Device, deviceName string) (*Compiled, error) {
+	if t == nil {
+		return nil, errors.New("ptemplate: nil template")
+	}
+	if dev == nil {
+		return nil, errors.New("ptemplate: nil device")
+	}
+	// Epoch before lowering: if recalibration lands mid-compile, the
+	// recorded epoch is already superseded and dispatch will reject the
+	// artifact as stale — the race errs toward recompiling.
+	epoch, err := qdmi.QueryCalibrationEpoch(dev)
+	if err != nil {
+		if !errors.Is(err, qdmi.ErrNotSupported) {
+			return nil, fmt.Errorf("ptemplate: reading calibration epoch: %w", err)
+		}
+		epoch = 0
+	}
+	res, err := compiler.Compile(t.Circuit, dev)
+	if err != nil {
+		return nil, fmt.Errorf("ptemplate: lowering template %q: %w", t.Circuit.Name, err)
+	}
+	return &Compiled{
+		Fingerprint: t.Fingerprint(deviceName),
+		Device:      deviceName,
+		Epoch:       epoch,
+		Format:      compiler.FormatFor(res.QIR),
+		Params:      append([]Param(nil), t.Params...),
+		Module:      res.QIR,
+	}, nil
+}
+
+// Validate checks one sweep point against the compiled template's declared
+// parameter space; violations wrap ErrBadParam.
+func (c *Compiled) Validate(b Bindings) error {
+	return validateBindings(c.Params, b)
+}
+
+// Bind validates the bindings and substitutes them into the parametric
+// module, returning a fully concrete module. No compiler stage runs.
+func (c *Compiled) Bind(b Bindings) (*qir.Module, error) {
+	if err := c.Validate(b); err != nil {
+		return nil, err
+	}
+	mod, err := c.Module.Bind(b)
+	if err != nil {
+		// Range legality was proven at template-compile time, so a bind
+		// failure past validation is a template bug, not user input.
+		return nil, fmt.Errorf("%w: %v", ErrBadParam, err)
+	}
+	return mod, nil
+}
+
+// BindPayload binds one sweep point and emits the concrete QIR text
+// payload — byte-identical to compiling the circuit with the same values
+// substituted directly.
+func (c *Compiled) BindPayload(b Bindings) ([]byte, error) {
+	mod, err := c.Bind(b)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(mod.Emit()), nil
+}

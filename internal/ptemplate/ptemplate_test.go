@@ -1,0 +1,283 @@
+package ptemplate
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"mqsspulse/internal/compiler"
+	"mqsspulse/internal/devices"
+	"mqsspulse/internal/qpi"
+	"mqsspulse/internal/waveform"
+)
+
+func rabiTemplate(t *testing.T) *Template {
+	t.Helper()
+	c := qpi.NewCircuit("rabi", 1, 1).RXP(0, qpi.Sym("theta")).Measure(0, 0)
+	if err := c.End(); err != nil {
+		t.Fatal(err)
+	}
+	tpl, err := New(c, Param{Name: "theta", Min: 0.1, Max: math.Pi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tpl
+}
+
+func templateDevice(t *testing.T) *devices.SimDevice {
+	t.Helper()
+	dev, err := devices.Superconducting("tpl-sc", 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+// TestBindValidationTable drives every bind-time rejection class through
+// Validate: each must wrap ErrBadParam and fire before any lowering or
+// dispatch work.
+func TestBindValidationTable(t *testing.T) {
+	tpl := rabiTemplate(t)
+	cases := []struct {
+		name    string
+		b       Bindings
+		wantErr bool
+	}{
+		{"in range", Bindings{"theta": 1.0}, false},
+		{"at min", Bindings{"theta": 0.1}, false},
+		{"at max", Bindings{"theta": math.Pi}, false},
+		{"missing", Bindings{}, true},
+		{"nil bindings", nil, true},
+		{"NaN", Bindings{"theta": math.NaN()}, true},
+		{"+Inf", Bindings{"theta": math.Inf(1)}, true},
+		{"-Inf", Bindings{"theta": math.Inf(-1)}, true},
+		{"below min", Bindings{"theta": 0.0999}, true},
+		{"above max", Bindings{"theta": math.Pi + 1e-6}, true},
+		{"undeclared extra", Bindings{"theta": 1.0, "phi": 0.5}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tpl.Validate(tc.b)
+			if tc.wantErr {
+				if !errors.Is(err, ErrBadParam) {
+					t.Fatalf("Validate(%v) = %v, want ErrBadParam", tc.b, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Validate(%v) = %v, want nil", tc.b, err)
+			}
+		})
+	}
+}
+
+// TestNewRejectsBadDeclarations covers the template-construction contract:
+// the declared parameter set must match the referenced set exactly and
+// every range must be finite and non-empty.
+func TestNewRejectsBadDeclarations(t *testing.T) {
+	parametric := func() *qpi.Circuit {
+		c := qpi.NewCircuit("p", 1, 1).RXP(0, qpi.Sym("theta")).Measure(0, 0)
+		if err := c.End(); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	theta := Param{Name: "theta", Min: 0.1, Max: 1}
+	cases := []struct {
+		name   string
+		c      *qpi.Circuit
+		params []Param
+		want   string
+	}{
+		{"nil circuit", nil, []Param{theta}, "nil circuit"},
+		{"undeclared", parametric(), nil, "undeclared parameter"},
+		{"unreferenced", parametric(), []Param{theta, {Name: "phi", Min: 0, Max: 1}}, "never referenced"},
+		{"duplicate", parametric(), []Param{theta, theta}, "declared twice"},
+		{"empty name", parametric(), []Param{{Min: 0, Max: 1}}, "empty name"},
+		{"NaN range", parametric(), []Param{{Name: "theta", Min: math.NaN(), Max: 1}}, "non-finite range"},
+		{"inverted range", parametric(), []Param{{Name: "theta", Min: 2, Max: 1}}, "empty range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.c, tc.params...)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("New = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+
+	concrete := qpi.NewCircuit("c", 1, 1).RX(0, 1).Measure(0, 0)
+	if err := concrete.End(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(concrete, theta); err == nil {
+		t.Fatal("New accepted a circuit with no parameter slots")
+	}
+}
+
+// TestNewProvesRangeLegality: illegal parameter ranges fail at template
+// construction — once — instead of surfacing per sweep point.
+func TestNewProvesRangeLegality(t *testing.T) {
+	t.Run("rx angle must stay in (0, pi]", func(t *testing.T) {
+		c := qpi.NewCircuit("r", 1, 1).RXP(0, qpi.Sym("theta")).Measure(0, 0)
+		if err := c.End(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := New(c, Param{Name: "theta", Min: 0, Max: 1}); err == nil {
+			t.Fatal("range reaching 0 accepted")
+		}
+		if _, err := New(c, Param{Name: "theta", Min: 0.1, Max: math.Pi + 0.1}); err == nil {
+			t.Fatal("range past pi accepted")
+		}
+	})
+	t.Run("delay must stay non-negative", func(t *testing.T) {
+		c := qpi.NewCircuit("d", 1, 1).
+			DelayP("q0-drive", qpi.SymAffine("dt", 1, -10)).
+			RX(0, 1).Measure(0, 0)
+		if err := c.End(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := New(c, Param{Name: "dt", Min: 0, Max: 100}); err == nil {
+			t.Fatal("delay range reaching -10 samples accepted")
+		}
+		if _, err := New(c, Param{Name: "dt", Min: 10, Max: 100}); err != nil {
+			t.Fatalf("legal delay range rejected: %v", err)
+		}
+	})
+	t.Run("amplitude must stay within full scale", func(t *testing.T) {
+		env := waveform.Gaussian{Amplitude: 1, SigmaFrac: 0.25}
+		c := qpi.NewCircuit("a", 1, 1).
+			WaveformEnvelopeP("drive", env, 32, qpi.Sym("amp")).
+			PlayWaveform("q0-drive", "drive").
+			Measure(0, 0)
+		if err := c.End(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := New(c, Param{Name: "amp", Min: 0, Max: 1.5}); err == nil {
+			t.Fatal("amplitude range overdriving full scale accepted")
+		}
+		if _, err := New(c, Param{Name: "amp", Min: 0, Max: 1}); err != nil {
+			t.Fatalf("legal amplitude range rejected: %v", err)
+		}
+	})
+}
+
+// TestBindMatchesPerPointCompile is the deferred-binding correctness core:
+// a payload produced by compile-once-then-bind must be byte-identical to a
+// fresh compilation at the same concrete angle.
+func TestBindMatchesPerPointCompile(t *testing.T) {
+	dev := templateDevice(t)
+	tpl := rabiTemplate(t)
+	compiled, err := Lower(tpl, dev, "tpl-sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !compiled.Module.IsParametric() {
+		t.Fatal("lowered template lost its unbound slots")
+	}
+	for _, theta := range []float64{0.1, 0.7, 1.5, math.Pi / 2, 3.0, math.Pi} {
+		bound, err := compiled.BindPayload(Bindings{"theta": theta})
+		if err != nil {
+			t.Fatalf("theta=%g: %v", theta, err)
+		}
+		ref := qpi.NewCircuit("rabi", 1, 1).RX(0, theta).Measure(0, 0)
+		if err := ref.End(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := compiler.Compile(ref, dev)
+		if err != nil {
+			t.Fatalf("theta=%g reference compile: %v", theta, err)
+		}
+		if !bytes.Equal(bound, res.Payload) {
+			t.Fatalf("theta=%g: bound payload differs from per-point compile\nbound:\n%s\nref:\n%s",
+				theta, bound, res.Payload)
+		}
+	}
+}
+
+// TestBindRejectsBeforeDevice: a bad point fails with ErrBadParam at bind
+// time, never producing a payload.
+func TestBindRejectsBeforeDevice(t *testing.T) {
+	dev := templateDevice(t)
+	compiled, err := Lower(rabiTemplate(t), dev, "tpl-sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []Bindings{nil, {"theta": math.NaN()}, {"theta": 99}, {"theta": 1, "phi": 2}} {
+		if _, err := compiled.Bind(b); !errors.Is(err, ErrBadParam) {
+			t.Fatalf("Bind(%v) = %v, want ErrBadParam", b, err)
+		}
+	}
+}
+
+// TestWireRoundTrip: Encode/Decode preserves the parametric payload — the
+// decoded template binds to byte-identical programs under the original
+// fingerprint.
+func TestWireRoundTrip(t *testing.T) {
+	dev := templateDevice(t)
+	compiled, err := Lower(rabiTemplate(t), dev, "tpl-sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := compiled.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Fingerprint != compiled.Fingerprint {
+		t.Fatalf("fingerprint %q != %q after round trip", decoded.Fingerprint, compiled.Fingerprint)
+	}
+	if decoded.Epoch != compiled.Epoch || decoded.Format != compiled.Format {
+		t.Fatalf("epoch/format drifted: %d/%s vs %d/%s",
+			decoded.Epoch, decoded.Format, compiled.Epoch, compiled.Format)
+	}
+	want, err := compiled.BindPayload(Bindings{"theta": 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decoded.BindPayload(Bindings{"theta": 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("decoded template binds a different payload")
+	}
+
+	if _, err := Decode([]byte(`{"fingerprint":""}`)); err == nil {
+		t.Fatal("Decode accepted a frame with no fingerprint")
+	}
+	if _, err := Decode([]byte(`{not json`)); err == nil {
+		t.Fatal("Decode accepted malformed JSON")
+	}
+}
+
+// TestFingerprintSensitivity: bound values never enter the fingerprint,
+// while structure, parameter ranges, and device all do.
+func TestFingerprintSensitivity(t *testing.T) {
+	build := func(min, max float64) *Template {
+		c := qpi.NewCircuit("rabi", 1, 1).RXP(0, qpi.Sym("theta")).Measure(0, 0)
+		if err := c.End(); err != nil {
+			t.Fatal(err)
+		}
+		tpl, err := New(c, Param{Name: "theta", Min: min, Max: max})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tpl
+	}
+	a, b := build(0.1, math.Pi), build(0.1, math.Pi)
+	if a.Fingerprint("sc") != b.Fingerprint("sc") {
+		t.Fatal("identical templates fingerprint differently")
+	}
+	if a.Fingerprint("sc") == a.Fingerprint("ion") {
+		t.Fatal("fingerprint ignores device")
+	}
+	if a.Fingerprint("sc") == build(0.2, math.Pi).Fingerprint("sc") {
+		t.Fatal("fingerprint ignores declared parameter range")
+	}
+}

@@ -1,0 +1,165 @@
+package ptemplate
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"mqsspulse/internal/qdmi"
+	"mqsspulse/internal/qir"
+)
+
+// The wire form ships a compiled template once per connection; per-point
+// bindings then travel as small frames referencing it by fingerprint.
+// complex128 samples are flattened to [I, Q] pairs because encoding/json
+// cannot represent complex numbers.
+
+type wireExpr struct {
+	Param  string  `json:"param"`
+	Scale  float64 `json:"scale"`
+	Offset float64 `json:"offset"`
+}
+
+type wireArg struct {
+	Kind int       `json:"kind"`
+	I    int64     `json:"i,omitempty"`
+	F    float64   `json:"f,omitempty"`
+	Sym  string    `json:"sym,omitempty"`
+	Expr *wireExpr `json:"expr,omitempty"`
+}
+
+type wireCall struct {
+	Callee string    `json:"callee"`
+	Args   []wireArg `json:"args,omitempty"`
+}
+
+type wireWaveform struct {
+	Name    string       `json:"name"`
+	Samples [][2]float64 `json:"samples"`
+	AmpExpr *wireExpr    `json:"amp_expr,omitempty"`
+}
+
+type wireModule struct {
+	ID         string         `json:"id"`
+	Profile    string         `json:"profile"`
+	EntryName  string         `json:"entry_name"`
+	NumQubits  int            `json:"num_qubits"`
+	NumResults int            `json:"num_results"`
+	NumPorts   int            `json:"num_ports"`
+	PortNames  []string       `json:"port_names,omitempty"`
+	Waveforms  []wireWaveform `json:"waveforms,omitempty"`
+	Body       []wireCall     `json:"body,omitempty"`
+}
+
+type wireCompiled struct {
+	Fingerprint string     `json:"fingerprint"`
+	Device      string     `json:"device"`
+	Epoch       int64      `json:"epoch,omitempty"`
+	Format      string     `json:"format"`
+	Params      []Param    `json:"params"`
+	Module      wireModule `json:"module"`
+}
+
+func toWireExpr(e *qir.ParamExpr) *wireExpr {
+	if e == nil {
+		return nil
+	}
+	return &wireExpr{Param: e.Param, Scale: e.Scale, Offset: e.Offset}
+}
+
+func fromWireExpr(e *wireExpr) *qir.ParamExpr {
+	if e == nil {
+		return nil
+	}
+	return &qir.ParamExpr{Param: e.Param, Scale: e.Scale, Offset: e.Offset}
+}
+
+// Encode serializes the compiled template for the remote wire.
+func (c *Compiled) Encode() ([]byte, error) {
+	if c.Module == nil {
+		return nil, errors.New("ptemplate: encode: compiled template has no module")
+	}
+	w := wireCompiled{
+		Fingerprint: c.Fingerprint,
+		Device:      c.Device,
+		Epoch:       c.Epoch,
+		Format:      string(c.Format),
+		Params:      c.Params,
+		Module: wireModule{
+			ID:         c.Module.ID,
+			Profile:    c.Module.Profile,
+			EntryName:  c.Module.EntryName,
+			NumQubits:  c.Module.NumQubits,
+			NumResults: c.Module.NumResults,
+			NumPorts:   c.Module.NumPorts,
+			PortNames:  c.Module.PortNames,
+		},
+	}
+	for i := range c.Module.Waveforms {
+		src := &c.Module.Waveforms[i]
+		samples := make([][2]float64, len(src.Samples))
+		for j, s := range src.Samples {
+			samples[j] = [2]float64{real(s), imag(s)}
+		}
+		w.Module.Waveforms = append(w.Module.Waveforms, wireWaveform{
+			Name: src.Name, Samples: samples, AmpExpr: toWireExpr(src.AmpExpr)})
+	}
+	for _, call := range c.Module.Body {
+		wc := wireCall{Callee: call.Callee}
+		for _, a := range call.Args {
+			wc.Args = append(wc.Args, wireArg{
+				Kind: int(a.Kind), I: a.I, F: a.F, Sym: a.Sym, Expr: toWireExpr(a.Expr)})
+		}
+		w.Module.Body = append(w.Module.Body, wc)
+	}
+	return json.Marshal(w)
+}
+
+// Decode deserializes a compiled template from its wire form and verifies
+// the embedded module, so a corrupt or hostile frame fails here rather
+// than at bind or dispatch time.
+func Decode(data []byte) (*Compiled, error) {
+	var w wireCompiled
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("ptemplate: decode: %w", err)
+	}
+	if w.Fingerprint == "" {
+		return nil, errors.New("ptemplate: decode: missing fingerprint")
+	}
+	mod := &qir.Module{
+		ID:         w.Module.ID,
+		Profile:    w.Module.Profile,
+		EntryName:  w.Module.EntryName,
+		NumQubits:  w.Module.NumQubits,
+		NumResults: w.Module.NumResults,
+		NumPorts:   w.Module.NumPorts,
+		PortNames:  w.Module.PortNames,
+	}
+	for _, src := range w.Module.Waveforms {
+		samples := make([]complex128, len(src.Samples))
+		for j, s := range src.Samples {
+			samples[j] = complex(s[0], s[1])
+		}
+		mod.Waveforms = append(mod.Waveforms, qir.WaveformConst{
+			Name: src.Name, Samples: samples, AmpExpr: fromWireExpr(src.AmpExpr)})
+	}
+	for _, wc := range w.Module.Body {
+		call := qir.Call{Callee: wc.Callee}
+		for _, a := range wc.Args {
+			call.Args = append(call.Args, qir.Arg{
+				Kind: qir.ArgKind(a.Kind), I: a.I, F: a.F, Sym: a.Sym, Expr: fromWireExpr(a.Expr)})
+		}
+		mod.Body = append(mod.Body, call)
+	}
+	if err := mod.Verify(); err != nil {
+		return nil, fmt.Errorf("ptemplate: decode: invalid module: %w", err)
+	}
+	return &Compiled{
+		Fingerprint: w.Fingerprint,
+		Device:      w.Device,
+		Epoch:       w.Epoch,
+		Format:      qdmi.ProgramFormat(w.Format),
+		Params:      w.Params,
+		Module:      mod,
+	}, nil
+}

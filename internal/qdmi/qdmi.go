@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"mqsspulse/internal/pulse"
+	"mqsspulse/internal/qir"
 	"mqsspulse/internal/readout"
 	"mqsspulse/internal/waveform"
 )
@@ -220,6 +221,17 @@ type JobOptions struct {
 type AcquisitionSubmitter interface {
 	// SubmitJobOpts enqueues a payload with acquisition options.
 	SubmitJobOpts(payload []byte, format ProgramFormat, opts JobOptions) (Job, error)
+}
+
+// ModuleSubmitter is an optional Device capability for the deferred-binding
+// template path: devices that accept an in-memory QIR module implement it,
+// letting bound sweep points skip the emit-text/parse-text round trip a
+// byte payload would cost per point. The module must be fully concrete
+// (already bound). Callers type-assert; the QRM falls back to emitting
+// bytes for devices without it.
+type ModuleSubmitter interface {
+	// SubmitModule enqueues a concrete QIR module with acquisition options.
+	SubmitModule(mod *qir.Module, opts JobOptions) (Job, error)
 }
 
 // Job is a handle on an asynchronous device execution.

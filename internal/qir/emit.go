@@ -20,6 +20,12 @@ func (m *Module) Emit() string {
 	sb.WriteString("\n")
 
 	for _, w := range m.Waveforms {
+		if w.AmpExpr != nil {
+			// An unbound waveform has no concrete sample image; emitting one
+			// is a caller bug (Bind must run first). Fail loudly at parse.
+			fmt.Fprintf(&sb, "@%s = <unbound param %q>\n", w.Name, w.AmpExpr.Param)
+			continue
+		}
 		// Interleaved I/Q doubles, like an AWG memory image.
 		fmt.Fprintf(&sb, "@%s = private constant [%d x double] [", w.Name, 2*len(w.Samples))
 		for i, s := range w.Samples {
@@ -79,6 +85,11 @@ func (m *Module) Emit() string {
 }
 
 func renderArg(a Arg) string {
+	if a.Expr != nil {
+		// An unbound slot has no textual form; emitting one is a caller bug
+		// (Bind must run first). The token fails loudly at parse time.
+		return fmt.Sprintf("<unbound param %q>", a.Expr.Param)
+	}
 	switch a.Kind {
 	case ArgQubit:
 		return fmt.Sprintf("%%Qubit* inttoptr (i64 %d to %%Qubit*)", a.I)

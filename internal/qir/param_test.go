@@ -1,0 +1,107 @@
+package qir
+
+import (
+	"math"
+	"testing"
+)
+
+func parametricModule() *Module {
+	return &Module{
+		ID: "tpl", Profile: ProfilePulse, EntryName: "main",
+		NumQubits: 1, NumResults: 1, NumPorts: 1,
+		PortNames: []string{"q0-drive"},
+		Waveforms: []WaveformConst{
+			{Name: "env", Samples: []complex128{0.25, 0.5, 0.25},
+				AmpExpr: &ParamExpr{Param: "amp", Scale: 1}},
+			{Name: "fixed", Samples: []complex128{0.1}},
+		},
+		Body: []Call{
+			{Callee: IntrShiftPhase, Args: []Arg{
+				PortArg(0),
+				{Kind: ArgF64, Expr: &ParamExpr{Param: "phi", Scale: 2, Offset: 0.5}},
+			}},
+			{Callee: IntrDelay, Args: []Arg{
+				PortArg(0),
+				{Kind: ArgI64, Expr: &ParamExpr{Param: "dt", Scale: 1}},
+			}},
+		},
+	}
+}
+
+func TestModuleParametricIntrospection(t *testing.T) {
+	m := parametricModule()
+	if !m.IsParametric() {
+		t.Fatal("module with unbound slots reports concrete")
+	}
+	names := m.ParamNames()
+	want := []string{"amp", "dt", "phi"}
+	if len(names) != len(want) {
+		t.Fatalf("ParamNames = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("ParamNames = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestBindSubstitutesEverySlot(t *testing.T) {
+	m := parametricModule()
+	bound, err := m.Bind(map[string]float64{"amp": 0.5, "phi": 1.0, "dt": 16.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.IsParametric() {
+		t.Fatalf("unbound slots survived: %v", bound.ParamNames())
+	}
+	// The receiver must stay untouched (templates are bound many times).
+	if !m.IsParametric() {
+		t.Fatal("Bind mutated the template module")
+	}
+	if got := bound.Waveforms[0].Samples[1]; got != 0.25 {
+		t.Fatalf("scaled sample = %v, want 0.25", got)
+	}
+	if got := bound.Waveforms[1].Samples[0]; got != 0.1 {
+		t.Fatalf("concrete waveform disturbed: %v", got)
+	}
+	// phi binds through the affine map 2·1.0 + 0.5.
+	if got := bound.Body[0].Args[1]; got.Kind != ArgF64 || got.F != 2.5 || got.Expr != nil {
+		t.Fatalf("bound f64 arg = %+v", got)
+	}
+	// dt rounds to the nearest integer sample count.
+	if got := bound.Body[1].Args[1]; got.Kind != ArgI64 || got.I != 16 || got.Expr != nil {
+		t.Fatalf("bound i64 arg = %+v", got)
+	}
+	if err := bound.Verify(); err != nil {
+		t.Fatalf("bound module fails verification: %v", err)
+	}
+}
+
+func TestBindRejections(t *testing.T) {
+	m := parametricModule()
+	cases := []struct {
+		name string
+		vals map[string]float64
+	}{
+		{"missing parameter", map[string]float64{"amp": 0.5, "phi": 1}},
+		{"non-finite result", map[string]float64{"amp": 0.5, "phi": math.Inf(1), "dt": 1}},
+		{"overdriven waveform", map[string]float64{"amp": 3, "phi": 1, "dt": 1}},
+		{"negative delay", map[string]float64{"amp": 0.5, "phi": 1, "dt": -4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := m.Bind(tc.vals); err == nil {
+				t.Fatalf("Bind(%v) succeeded", tc.vals)
+			}
+		})
+	}
+}
+
+// TestEmitRefusesUnboundSlots: emitting a parametric module produces
+// tokens that cannot parse, so a missed Bind fails loudly downstream.
+func TestEmitRefusesUnboundSlots(t *testing.T) {
+	text := parametricModule().Emit()
+	if _, err := ParseModule(text); err == nil {
+		t.Fatal("emitted parametric module parsed cleanly")
+	}
+}

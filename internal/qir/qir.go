@@ -102,6 +102,10 @@ type Arg struct {
 	I    int64   // handle index or i64 literal
 	F    float64 // f64 literal
 	Sym  string  // waveform symbol
+	// Expr, when non-nil, marks the argument as an unbound template slot of
+	// the declared Kind (ArgF64 or ArgI64 only); Bind evaluates it. The
+	// literal fields are placeholders until then.
+	Expr *ParamExpr
 }
 
 // QubitArg makes a qubit handle argument.
@@ -133,6 +137,10 @@ type Call struct {
 type WaveformConst struct {
 	Name    string
 	Samples []complex128
+	// AmpExpr, when non-nil, marks the constant as an unbound template
+	// slot: Samples hold the base envelope, multiplied by the expression's
+	// bound value at bind time.
+	AmpExpr *ParamExpr
 }
 
 // Module is a QIR module specialized to the Base-Profile shape (one entry

@@ -1,0 +1,225 @@
+package qpi
+
+import (
+	"math"
+
+	"mqsspulse/internal/waveform"
+)
+
+// ParamExpr is an affine symbolic expression over one named template
+// parameter: value = Scale·p + Offset. It is the QPI-level representation of
+// an unbound pulse-parameter slot (amplitude, angle, phase, detuning, or
+// duration) that the template subsystem defers to bind time. Affine
+// expressions are closed under the scalings gate→pulse lowering applies, so
+// a slot survives compilation as a slot instead of forcing recompilation.
+type ParamExpr struct {
+	// Param is the template parameter name the expression references.
+	Param string
+	// Scale multiplies the bound parameter value.
+	Scale float64
+	// Offset is added after scaling.
+	Offset float64
+}
+
+// Sym makes the identity expression over a named parameter (value = p).
+func Sym(name string) *ParamExpr { return &ParamExpr{Param: name, Scale: 1} }
+
+// SymAffine makes a general affine expression value = scale·p + offset. A
+// zero scale yields a constant that still participates in template
+// fingerprinting under the parameter's name.
+func SymAffine(name string, scale, offset float64) *ParamExpr {
+	return &ParamExpr{Param: name, Scale: scale, Offset: offset}
+}
+
+// Eval evaluates the expression at parameter value p.
+func (e *ParamExpr) Eval(p float64) float64 { return e.Scale*p + e.Offset }
+
+// valid reports whether the expression is structurally usable: a named
+// parameter and finite coefficients.
+func (e *ParamExpr) valid() bool {
+	return e != nil && e.Param != "" &&
+		!math.IsNaN(e.Scale) && !math.IsInf(e.Scale, 0) &&
+		!math.IsNaN(e.Offset) && !math.IsInf(e.Offset, 0)
+}
+
+// clone returns a private copy so later caller mutations cannot alias into
+// the recorded circuit.
+func (e *ParamExpr) clone() *ParamExpr {
+	cp := *e
+	return &cp
+}
+
+// checkExpr validates a parameter expression in a builder method.
+func (c *Circuit) checkExpr(where string, e *ParamExpr) bool {
+	if e == nil {
+		c.fail("qpi: %s: nil parameter expression", where)
+		return false
+	}
+	if !e.valid() {
+		c.fail("qpi: %s: invalid parameter expression (param %q, scale %g, offset %g)",
+			where, e.Param, e.Scale, e.Offset)
+		return false
+	}
+	return true
+}
+
+// gateP appends a single-qubit rotation gate whose angle is a parameter
+// expression. Only rx, ry, and rz admit symbolic angles: their lowerings are
+// affine in the angle, so the slot survives gate→pulse lowering.
+func (c *Circuit) gateP(name string, q int, theta *ParamExpr) *Circuit {
+	if c.err != nil {
+		return c
+	}
+	if c.finished {
+		return c.fail("qpi: append to finished circuit")
+	}
+	if !c.checkExpr("gate "+name, theta) {
+		return c
+	}
+	switch name {
+	case "rx", "ry", "rz":
+	default:
+		return c.fail("qpi: gate %q does not accept a parametric angle", name)
+	}
+	if !c.checkQubit(q) {
+		return c.fail("qpi: qubit %d out of range [0,%d)", q, c.Qubits)
+	}
+	c.Ops = append(c.Ops, Op{Kind: OpGate, Gate: name, Qubits: []int{q},
+		Params: []float64{0}, AngleExpr: theta.clone()})
+	return c
+}
+
+// RXP appends an X rotation with a symbolic angle (bound at submit time).
+func (c *Circuit) RXP(q int, theta *ParamExpr) *Circuit { return c.gateP("rx", q, theta) }
+
+// RYP appends a Y rotation with a symbolic angle.
+func (c *Circuit) RYP(q int, theta *ParamExpr) *Circuit { return c.gateP("ry", q, theta) }
+
+// RZP appends a Z rotation with a symbolic angle (virtual-Z at bind time).
+func (c *Circuit) RZP(q int, theta *ParamExpr) *Circuit { return c.gateP("rz", q, theta) }
+
+// FrameChangeP adjusts a port's carrier frame with symbolic frequency and/or
+// phase. A nil expression means the literal 0 for that slot; to mix a
+// concrete value with a symbolic one, use SymAffine(param, 0, value) for the
+// concrete slot. At least one slot must be symbolic.
+func (c *Circuit) FrameChangeP(port string, freq, phase *ParamExpr) *Circuit {
+	if c.err != nil {
+		return c
+	}
+	if c.finished {
+		return c.fail("qpi: append to finished circuit")
+	}
+	if port == "" {
+		return c.fail("qpi: frame change on empty port name")
+	}
+	if freq == nil && phase == nil {
+		return c.fail("qpi: parametric frame change with no parameter expression")
+	}
+	if freq != nil && !c.checkExpr("frame change frequency", freq) {
+		return c
+	}
+	if phase != nil && !c.checkExpr("frame change phase", phase) {
+		return c
+	}
+	op := Op{Kind: OpFrameChange, Port: port}
+	if freq != nil {
+		op.FreqExpr = freq.clone()
+	}
+	if phase != nil {
+		op.PhaseExpr = phase.clone()
+	}
+	c.Ops = append(c.Ops, op)
+	return c
+}
+
+// DelayP idles a port for a symbolic number of samples; the bound value is
+// rounded to the nearest integer and must be non-negative.
+func (c *Circuit) DelayP(port string, samples *ParamExpr) *Circuit {
+	if c.err != nil {
+		return c
+	}
+	if c.finished {
+		return c.fail("qpi: append to finished circuit")
+	}
+	if port == "" {
+		return c.fail("qpi: delay on empty port name")
+	}
+	if !c.checkExpr("delay", samples) {
+		return c
+	}
+	c.Ops = append(c.Ops, Op{Kind: OpDelay, Port: port, DelayExpr: samples.clone()})
+	return c
+}
+
+// WaveformEnvelopeP defines a named waveform whose samples are the envelope
+// scaled by a symbolic amplitude factor at bind time. The envelope
+// materializes once at template-compile time; binding multiplies the stored
+// samples by the bound factor, so a sweep re-scales without re-evaluating
+// the envelope.
+func (c *Circuit) WaveformEnvelopeP(name string, env waveform.Envelope, n int, amp *ParamExpr) *Circuit {
+	if c.err != nil {
+		return c
+	}
+	if c.finished {
+		return c.fail("qpi: append to finished circuit")
+	}
+	if !c.checkExpr("waveform "+name, amp) {
+		return c
+	}
+	if _, dup := c.Waveforms[name]; dup {
+		return c.fail("qpi: duplicate waveform %q", name)
+	}
+	w, err := env.Materialize(name, n)
+	if err != nil {
+		return c.fail("qpi: waveform %q: %v", name, err)
+	}
+	c.Waveforms[name] = w
+	c.Ops = append(c.Ops, Op{Kind: OpWaveformDef, WaveformName: name, AmpExpr: amp.clone()})
+	return c
+}
+
+// IsParametric reports whether any op carries an unbound parameter slot.
+func (c *Circuit) IsParametric() bool {
+	for i := range c.Ops {
+		if c.Ops[i].hasExpr() {
+			return true
+		}
+	}
+	return false
+}
+
+// ParamNames returns the sorted, de-duplicated names of every template
+// parameter referenced by the circuit.
+func (c *Circuit) ParamNames() []string {
+	seen := map[string]bool{}
+	for i := range c.Ops {
+		for _, e := range c.Ops[i].exprs() {
+			if e != nil {
+				seen[e.Param] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	// Insertion sort keeps this allocation-light for the handful of
+	// parameters templates carry.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// hasExpr reports whether the op carries any parameter expression.
+func (o *Op) hasExpr() bool {
+	return o.AngleExpr != nil || o.FreqExpr != nil || o.PhaseExpr != nil ||
+		o.DelayExpr != nil || o.AmpExpr != nil
+}
+
+// exprs returns the op's parameter-expression slots (nil entries included).
+func (o *Op) exprs() [5]*ParamExpr {
+	return [5]*ParamExpr{o.AngleExpr, o.FreqExpr, o.PhaseExpr, o.DelayExpr, o.AmpExpr}
+}

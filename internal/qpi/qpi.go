@@ -111,6 +111,21 @@ type Op struct {
 	Cbit  int
 	// WindowSamples is the acquisition window length (OpAcquire).
 	WindowSamples int64
+
+	// Parametric slots (deferred-binding templates); nil means the
+	// corresponding concrete field above is authoritative.
+
+	// AngleExpr replaces Params[0] for rx/ry/rz gates.
+	AngleExpr *ParamExpr
+	// FreqExpr replaces FrequencyHz for frame changes.
+	FreqExpr *ParamExpr
+	// PhaseExpr replaces PhaseRad for frame changes.
+	PhaseExpr *ParamExpr
+	// DelayExpr replaces DelaySamples (bound value rounds to the nearest
+	// non-negative integer).
+	DelayExpr *ParamExpr
+	// AmpExpr scales the samples of a waveform definition at bind time.
+	AmpExpr *ParamExpr
 }
 
 // Circuit is a mixed gate/pulse quantum kernel under construction, built in

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sync"
 
+	"mqsspulse/internal/ptemplate"
 	"mqsspulse/internal/qdmi"
 	"mqsspulse/internal/readout"
 )
@@ -90,6 +91,15 @@ type Request struct {
 	// differ from the device the job is placed on. Empty means the
 	// dispatch device itself.
 	CompiledFor string
+	// Template is the deferred-binding path: a compiled parametric template
+	// whose Bindings are substituted at dispatch time, after the epoch
+	// check. When set, Payload must be empty — the scheduler produces the
+	// concrete program itself (handing the bound module to a
+	// qdmi.ModuleSubmitter device directly, or emitting payload bytes as a
+	// fallback).
+	Template *ptemplate.Compiled
+	// Bindings is this job's sweep point; required when Template is set.
+	Bindings ptemplate.Bindings
 }
 
 // queued pairs a ticket with its request.
@@ -187,7 +197,16 @@ func (s *Scheduler) SubmitCtx(ctx context.Context, req Request) (*Ticket, error)
 	if req.Shots <= 0 {
 		return nil, errors.New("qrm: non-positive shots")
 	}
-	if len(req.Payload) == 0 {
+	if req.Template != nil {
+		if len(req.Payload) != 0 {
+			return nil, errors.New("qrm: request carries both a payload and a template")
+		}
+		// Bad sweep points fail here — before queueing, dispatch, or any
+		// device involvement — with a typed ErrBadParam the caller can test.
+		if err := req.Template.Validate(req.Bindings); err != nil {
+			return nil, err
+		}
+	} else if len(req.Payload) == 0 {
 		return nil, errors.New("qrm: empty payload")
 	}
 	if (req.Device == "") == (req.Pool == "") {
@@ -442,8 +461,24 @@ func (s *Scheduler) checkEpoch(dispatchDevice string, req Request) error {
 
 // submitToDevice dispatches a request, routing through the acquisition
 // capability when the device offers it; devices without it can only serve
-// discriminated counts.
+// discriminated counts. Template requests bind here — after the epoch gate
+// in runItem, so a stale template fails with ErrStaleCalibration before any
+// binding work — and prefer the qdmi.ModuleSubmitter capability, which
+// skips the emit/parse round trip; devices without it receive emitted
+// payload bytes through the ordinary path.
 func submitToDevice(dev qdmi.Device, req Request) (qdmi.Job, error) {
+	if req.Template != nil {
+		mod, err := req.Template.Bind(req.Bindings)
+		if err != nil {
+			return nil, err
+		}
+		opts := qdmi.JobOptions{Shots: req.Shots, MeasLevel: req.MeasLevel, MeasReturn: req.MeasReturn}
+		if ms, ok := dev.(qdmi.ModuleSubmitter); ok {
+			return ms.SubmitModule(mod, opts)
+		}
+		req.Payload = []byte(mod.Emit())
+		req.Format = req.Template.Format
+	}
 	if as, ok := dev.(qdmi.AcquisitionSubmitter); ok {
 		return as.SubmitJobOpts(req.Payload, req.Format, qdmi.JobOptions{
 			Shots: req.Shots, MeasLevel: req.MeasLevel, MeasReturn: req.MeasReturn,
