@@ -40,6 +40,7 @@ import (
 	"mqsspulse/internal/qpi"
 	"mqsspulse/internal/qrm"
 	"mqsspulse/internal/readout"
+	"mqsspulse/internal/telemetry"
 	"mqsspulse/internal/vqe"
 	"mqsspulse/internal/waveform"
 )
@@ -116,6 +117,46 @@ func WithTimeout(d time.Duration) ExecOption { return qpi.WithTimeout(d) }
 
 // WithoutCache bypasses compilation caches for this submission.
 func WithoutCache() ExecOption { return qpi.WithoutCache() }
+
+// WithTraceID sets the telemetry trace identifier instead of letting the
+// stack mint one — the hook for correlating a submission with an external
+// tracing system.
+func WithTraceID(id string) ExecOption { return qpi.WithTraceID(id) }
+
+// Telemetry: per-job lifecycle traces and fleet-wide latency metrics.
+// Every submission carries a trace ID from qpi.Run down to the device (and
+// across the remote wire); its spans come back through Handle.Timeline,
+// and stage/queue-wait histograms aggregate in the client's registry
+// (Stack.Telemetry, Client.Telemetry).
+type (
+	// Timeline is one job's ordered lifecycle spans.
+	Timeline = telemetry.Timeline
+	// Span is one recorded lifecycle stage of a job.
+	Span = telemetry.Span
+	// SpanID identifies a span within its timeline.
+	SpanID = telemetry.SpanID
+	// Stage labels a lifecycle span (compile, queue-wait, dispatch, ...).
+	Stage = telemetry.Stage
+	// TelemetryRegistry aggregates fleet-wide counters and histograms.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time copy of a registry's metrics.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetryHistogram is one latency histogram's snapshot (count, mean,
+	// p50/p95/p99, max, log2 buckets).
+	TelemetryHistogram = telemetry.HistogramSnapshot
+)
+
+// Lifecycle stages recorded on job timelines.
+const (
+	StageCompile       = telemetry.StageCompile
+	StageCacheHit      = telemetry.StageCacheHit
+	StageCacheMiss     = telemetry.StageCacheMiss
+	StageBind          = telemetry.StageBind
+	StageQueueWait     = telemetry.StageQueueWait
+	StageDispatch      = telemetry.StageDispatch
+	StageDeviceExecute = telemetry.StageDeviceExecute
+	StageReadoutPost   = telemetry.StageReadoutPost
+)
 
 // Acquisition and readout (measurement levels, discriminators, error
 // mitigation).
@@ -377,6 +418,11 @@ func (s *Stack) Close() {
 	s.Client.Close()
 	s.Session.Close()
 }
+
+// Telemetry snapshots the stack's fleet metrics: every counter and latency
+// histogram (stage durations, per-device and per-pool queue-wait,
+// scheduler and cache counters) accumulated since the stack was built.
+func (s *Stack) Telemetry() TelemetrySnapshot { return s.Client.Telemetry() }
 
 // NewServer exposes a client over TCP.
 func NewServer(c *Client, addr string, opts ...ServerOption) (*Server, error) {

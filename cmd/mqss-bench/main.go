@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	mqss-bench -all          # run every experiment
-//	mqss-bench -exp EXP-C2   # run one experiment
-//	mqss-bench -list         # list experiment IDs
-//	mqss-bench -json         # benchmark template binding, write BENCH_6.json
+//	mqss-bench -all                    # run every experiment
+//	mqss-bench -exp EXP-C2             # run one experiment
+//	mqss-bench -list                   # list experiment IDs
+//	mqss-bench -json                   # write the machine-readable bench report
+//	mqss-bench -json -out BENCH_x.json # ... to a chosen path
 package main
 
 import (
@@ -18,9 +19,12 @@ import (
 	"time"
 
 	"mqsspulse/internal/experiments"
+	"mqsspulse/internal/simq"
+	"mqsspulse/internal/telemetry"
+	"mqsspulse/internal/waveform"
 )
 
-// benchEntry is one machine-readable benchmark record of BENCH_6.json.
+// benchEntry is one machine-readable benchmark record of the -json report.
 type benchEntry struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -28,58 +32,112 @@ type benchEntry struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// benchReport is the BENCH_6.json document: the deferred-binding sweep
-// experiments plus their speedup ratios.
+// benchReport is the -json report document: the sweep, evolve, fleet, and
+// telemetry experiments plus derived ratios.
 type benchReport struct {
 	Points      int                `json:"points"`
 	Experiments []benchEntry       `json:"experiments"`
 	Speedups    map[string]float64 `json:"speedups"`
 }
 
-// writeBenchJSON benchmarks the compile-once/bind-per-point sweep path
-// against the per-point-recompile baseline and writes the results to path.
-func writeBenchJSON(path string) error {
-	const points = 1024
+// measure runs f under testing.Benchmark and folds the result into a
+// benchEntry; an error inside the loop aborts the measurement.
+func measure(name string, f func() error) (benchEntry, error) {
+	var failed error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := f(); err != nil {
+				failed = err
+				return
+			}
+		}
+	})
+	if failed != nil {
+		return benchEntry{}, fmt.Errorf("%s: %w", name, failed)
+	}
+	return benchEntry{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}, nil
+}
+
+// sweepEntries benchmarks the compile-once/bind-per-point sweep path
+// against the per-point-recompile baseline (the ISSUE 6 tentpole numbers).
+func sweepEntries(points int) ([]benchEntry, map[string]float64, error) {
 	bound, recompile, err := experiments.SweepBenchRig(points)
 	if err != nil {
+		return nil, nil, err
+	}
+	be, err := measure(fmt.Sprintf("sweep_bound_%d", points), bound)
+	if err != nil {
+		return nil, nil, err
+	}
+	re, err := measure(fmt.Sprintf("sweep_recompile_%d", points), recompile)
+	if err != nil {
+		return nil, nil, err
+	}
+	return []benchEntry{be, re},
+		map[string]float64{"recompile_over_bound": re.NsPerOp / be.NsPerOp}, nil
+}
+
+// evolveEntry benchmarks the pulse-integration hot loop on the shared
+// 2-transmon EXP-P1 rig (1024-sample Gaussian on every channel).
+func evolveEntry() (benchEntry, error) {
+	ex, sp, err := experiments.EvolveBenchRig(
+		waveform.Gaussian{Amplitude: 0.5, SigmaFrac: 0.2}, 1024, nil)
+	if err != nil {
+		return benchEntry{}, err
+	}
+	return measure("evolve_gaussian_1024", func() error {
+		_, err := ex.Run(sp, simq.ExecOptions{Shots: 1})
+		return err
+	})
+}
+
+// fleetEntry benchmarks a 64-job burst through a 4-member pool — the
+// fleet scheduler path every lifecycle span now instruments.
+func fleetEntry() (benchEntry, error) {
+	run, _, cleanup, err := experiments.FleetBenchRig(4, 0)
+	if err != nil {
+		return benchEntry{}, err
+	}
+	defer cleanup()
+	return measure("fleet_batch_64_pool4", func() error { return run(64) })
+}
+
+// telemetryEntry benchmarks the instrumentation primitives themselves —
+// one span record plus one histogram observation — pinning the per-stage
+// overhead budget the observability layer adds to every job.
+func telemetryEntry() (benchEntry, error) {
+	reg := telemetry.NewRegistry()
+	tl := telemetry.NewTimeline("bench", reg)
+	start := time.Now()
+	return measure("telemetry_span_record", func() error {
+		tl.Record(telemetry.StageDispatch, "bench-dev", start, time.Microsecond, 0)
+		reg.Observe("queue_wait/device/bench-dev", time.Microsecond)
+		return nil
+	})
+}
+
+// writeBenchJSON runs every -json experiment and writes the folded report
+// to path.
+func writeBenchJSON(path string) error {
+	const points = 1024
+	entries, speedups, err := sweepEntries(points)
+	if err != nil {
 		return err
 	}
-	measure := func(name string, f func() error) (benchEntry, error) {
-		var failed error
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if err := f(); err != nil {
-					failed = err
-					return
-				}
-			}
-		})
-		if failed != nil {
-			return benchEntry{}, fmt.Errorf("%s: %w", name, failed)
+	for _, f := range []func() (benchEntry, error){evolveEntry, fleetEntry, telemetryEntry} {
+		e, err := f()
+		if err != nil {
+			return err
 		}
-		return benchEntry{
-			Name:        name,
-			NsPerOp:     float64(r.NsPerOp()),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-		}, nil
+		entries = append(entries, e)
 	}
-	be, err := measure("sweep_bound_1024", bound)
-	if err != nil {
-		return err
-	}
-	re, err := measure("sweep_recompile_1024", recompile)
-	if err != nil {
-		return err
-	}
-	report := benchReport{
-		Points:      points,
-		Experiments: []benchEntry{be, re},
-		Speedups: map[string]float64{
-			"recompile_over_bound": re.NsPerOp / be.NsPerOp,
-		},
-	}
+	report := benchReport{Points: points, Experiments: entries, Speedups: speedups}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -87,8 +145,11 @@ func writeBenchJSON(path string) error {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: bound %.3gms/sweep, recompile %.3gms/sweep (%.1f× speedup)\n",
-		path, be.NsPerOp/1e6, re.NsPerOp/1e6, re.NsPerOp/be.NsPerOp)
+	fmt.Printf("wrote %s:\n", path)
+	for _, e := range report.Experiments {
+		fmt.Printf("  %-24s %12.4gms/op %8d allocs/op\n", e.Name, e.NsPerOp/1e6, e.AllocsPerOp)
+	}
+	fmt.Printf("  speedup recompile/bound: %.1f×\n", report.Speedups["recompile_over_bound"])
 	return nil
 }
 
@@ -97,7 +158,8 @@ func main() {
 	exp := flag.String("exp", "", "run a single experiment by ID (e.g. EXP-F1)")
 	list := flag.Bool("list", false, "list experiment IDs")
 	jsonOut := flag.Bool("json", false,
-		"benchmark the template bind vs per-point recompile sweep paths and write BENCH_6.json")
+		"benchmark the sweep, evolve, fleet, and telemetry paths and write a machine-readable report")
+	out := flag.String("out", "BENCH_7.json", "output path for the -json report")
 	flag.Parse()
 
 	ids := []string{"EXP-F1", "EXP-F2", "EXP-F3", "EXP-L1", "EXP-L2", "EXP-L3",
@@ -125,7 +187,7 @@ func main() {
 	}
 	switch {
 	case *jsonOut:
-		if err := writeBenchJSON("BENCH_6.json"); err != nil {
+		if err := writeBenchJSON(*out); err != nil {
 			fmt.Fprintf(os.Stderr, "bench json failed: %v\n", err)
 			os.Exit(1)
 		}

@@ -9,6 +9,7 @@
 //	qdmi-query -device sc
 //	qdmi-query -device ion -sites 3
 //	qdmi-query -device sc -fleet 4 -jobs 64
+//	qdmi-query -device sc -fleet 4 -jobs 64 -telemetry
 package main
 
 import (
@@ -41,8 +42,10 @@ func buildDevice(preset, name string, sites int, seed int64) (*devices.SimDevice
 // runFleet registers n preset devices as pool "fleet", pushes a burst of
 // jobs through the scheduler, and prints the fleet statistics the QRM
 // exposes: per-device queue depth, utilization, dispatch and steal counts,
-// and per-pool queue state.
-func runFleet(preset string, sites, n, jobs int) error {
+// and per-pool queue state. With telemetry set it also renders the fleet
+// metrics surface: every latency histogram (stage durations, per-device
+// and per-pool queue-wait) and counter the burst accumulated.
+func runFleet(preset string, sites, n, jobs int, telemetry bool) error {
 	devs := make([]mqsspulse.Device, n)
 	names := make([]string, n)
 	for i := 0; i < n; i++ {
@@ -108,7 +111,40 @@ func runFleet(preset string, sites, n, jobs int) error {
 	cs := stack.Client.CacheStats()
 	fmt.Printf("  lowering cache: hits=%d misses=%d binds=%d evictions=%d invalidations=%d entries=%d/%d (templates=%d)\n",
 		cs.Hits, cs.Misses, cs.Binds, cs.Evictions, cs.Invalidations, cs.Entries, cs.Limit, cs.TemplateEntries)
+	if telemetry {
+		printTelemetry(stack.Telemetry())
+	}
 	return nil
+}
+
+// printTelemetry renders a fleet metrics snapshot: one row per latency
+// histogram (count, mean, quantiles, max) and one per counter.
+func printTelemetry(snap mqsspulse.TelemetrySnapshot) {
+	fmt.Printf("\n=== telemetry: latency histograms ===\n")
+	fmt.Printf("  %-28s %7s %10s %10s %10s %10s %10s\n",
+		"histogram", "count", "mean", "p50", "p95", "p99", "max")
+	names := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Histograms[name]
+		fmt.Printf("  %-28s %7d %10v %10v %10v %10v %10v\n",
+			name, h.Count,
+			h.Mean.Round(time.Microsecond), h.P50.Round(time.Microsecond),
+			h.P95.Round(time.Microsecond), h.P99.Round(time.Microsecond),
+			h.Max.Round(time.Microsecond))
+	}
+	fmt.Printf("\n=== telemetry: counters ===\n")
+	ctrs := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		ctrs = append(ctrs, name)
+	}
+	sort.Strings(ctrs)
+	for _, name := range ctrs {
+		fmt.Printf("  %-28s %d\n", name, snap.Counters[name])
+	}
 }
 
 func main() {
@@ -116,10 +152,15 @@ func main() {
 	sites := flag.Int("sites", 2, "device site count")
 	fleet := flag.Int("fleet", 0, "build a pool of N devices and print fleet scheduler stats")
 	jobs := flag.Int("jobs", 32, "jobs to dispatch in -fleet mode")
+	telemetry := flag.Bool("telemetry", false,
+		"also print the fleet telemetry surface (stage/queue-wait histograms, counters); implies -fleet 2")
 	flag.Parse()
 
+	if *telemetry && *fleet == 0 {
+		*fleet = 2
+	}
 	if *fleet > 0 {
-		if err := runFleet(*device, *sites, *fleet, *jobs); err != nil {
+		if err := runFleet(*device, *sites, *fleet, *jobs, *telemetry); err != nil {
 			fmt.Fprintln(os.Stderr, "qdmi-query:", err)
 			os.Exit(1)
 		}

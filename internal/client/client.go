@@ -33,6 +33,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"mqsspulse/internal/compiler"
 	"mqsspulse/internal/ptemplate"
@@ -40,6 +41,7 @@ import (
 	"mqsspulse/internal/qpi"
 	"mqsspulse/internal/qrm"
 	"mqsspulse/internal/readout"
+	"mqsspulse/internal/telemetry"
 )
 
 // DefaultCacheEntries is the lowering-cache entry bound used until
@@ -51,6 +53,11 @@ const DefaultCacheEntries = 4096
 type Client struct {
 	session *qdmi.Session
 	qrm     *qrm.Scheduler
+	// telem is the client's fleet metrics registry: per-stage latency
+	// histograms fed by every traced job's timeline, plus the scheduler's
+	// queue-wait histograms and counters (the same registry is installed
+	// into the QRM at construction).
+	telem *telemetry.Registry
 
 	mu sync.Mutex
 	// loweringCache memoizes compiled payloads keyed by (device, kernel
@@ -109,18 +116,41 @@ type CacheStats struct {
 
 // New builds a client over a QDMI session with its own QRM scheduler.
 func New(session *qdmi.Session) *Client {
-	return &Client{
+	c := &Client{
 		session:       session,
 		qrm:           qrm.New(session),
+		telem:         telemetry.NewRegistry(),
 		loweringCache: map[string]*list.Element{},
 		lruList:       list.New(),
 		cacheLimit:    DefaultCacheEntries,
 		CacheEnabled:  true,
 	}
+	// One registry spans the stack: client compile/bind stages, scheduler
+	// queue-wait and dispatch counters, and device execution stages all
+	// land in the same snapshot.
+	c.qrm.SetTelemetry(c.telem)
+	return c
 }
 
 // QRM exposes the scheduler (for maintenance-hook installation).
 func (c *Client) QRM() *qrm.Scheduler { return c.qrm }
+
+// TelemetryRegistry exposes the client's fleet metrics registry — the
+// sink every traced job's stage durations and the scheduler's queue-wait
+// histograms accumulate into.
+func (c *Client) TelemetryRegistry() *telemetry.Registry { return c.telem }
+
+// Telemetry snapshots the fleet metrics: every counter and latency
+// histogram (with p50/p95/p99) accumulated since the client was built.
+func (c *Client) Telemetry() telemetry.Snapshot { return c.telem.Snapshot() }
+
+// NewTimeline creates a job timeline attached to the client's metrics
+// registry. Callers that compile and submit in separate steps (the remote
+// adapter, sweep drivers) create the timeline first so every stage lands
+// on one trace; pass it through SubmitOptions.Timeline.
+func (c *Client) NewTimeline(traceID string) *telemetry.Timeline {
+	return telemetry.NewTimeline(traceID, c.telem)
+}
 
 // Devices lists the reachable device names.
 func (c *Client) Devices() ([]string, error) { return c.session.Devices() }
@@ -224,8 +254,35 @@ func waveformDigest(k *qpi.Circuit) uint64 {
 // Compile lowers a kernel for a device, using the lowering cache when
 // enabled.
 func (c *Client) Compile(k *qpi.Circuit, device string) ([]byte, qdmi.ProgramFormat, error) {
-	payload, format, _, err := c.compile(k, device, false)
+	payload, format, _, _, err := c.compile(k, device, false)
 	return payload, format, err
+}
+
+// CompileTraced is Compile with telemetry: the compile span — and a
+// cache-hit or cache-miss child — lands on tl, and the returned epoch is
+// the calibration epoch the payload was compiled against. It is the
+// compile half of the split compile/submit path the remote adapter uses.
+func (c *Client) CompileTraced(k *qpi.Circuit, device string, tl *telemetry.Timeline) ([]byte, qdmi.ProgramFormat, int64, error) {
+	payload, format, epoch, _, err := c.compileTraced(k, device, false, tl)
+	return payload, format, epoch, err
+}
+
+// compileTraced wraps compile in a StageCompile span with a cache-hit or
+// cache-miss child on tl (nil tl records nothing).
+func (c *Client) compileTraced(k *qpi.Circuit, device string, bypassCache bool, tl *telemetry.Timeline) ([]byte, qdmi.ProgramFormat, int64, bool, error) {
+	start := time.Now()
+	payload, format, epoch, hit, err := c.compile(k, device, bypassCache)
+	if err != nil {
+		return nil, "", 0, false, err
+	}
+	d := time.Since(start)
+	span := tl.Record(telemetry.StageCompile, device, start, d, 0)
+	cacheStage := telemetry.StageCacheMiss
+	if hit {
+		cacheStage = telemetry.StageCacheHit
+	}
+	tl.Record(cacheStage, device, start, d, span)
+	return payload, format, epoch, hit, nil
 }
 
 // deviceEpoch reads a device's calibration epoch. Epoch-unaware devices
@@ -245,16 +302,17 @@ func deviceEpoch(dev qdmi.Device) (int64, error) {
 }
 
 // compile lowers a kernel and returns the payload, its exchange format,
-// and the calibration epoch it was compiled against.
-func (c *Client) compile(k *qpi.Circuit, device string, bypassCache bool) ([]byte, qdmi.ProgramFormat, int64, error) {
+// the calibration epoch it was compiled against, and whether the payload
+// was served from the lowering cache.
+func (c *Client) compile(k *qpi.Circuit, device string, bypassCache bool) ([]byte, qdmi.ProgramFormat, int64, bool, error) {
 	if k.IsParametric() {
-		return nil, "", 0, fmt.Errorf(
+		return nil, "", 0, false, fmt.Errorf(
 			"client: kernel %q carries unbound parameters %v; wrap it in a ptemplate.Template and use SubmitSweepCtx/RunSweep",
 			k.Name, k.ParamNames())
 	}
 	dev, err := c.session.Device(device)
 	if err != nil {
-		return nil, "", 0, err
+		return nil, "", 0, false, err
 	}
 	// The epoch is read before any lowering query: if a recalibration
 	// lands mid-compile the recorded epoch is already superseded, so the
@@ -262,7 +320,7 @@ func (c *Client) compile(k *qpi.Circuit, device string, bypassCache bool) ([]byt
 	// the race can only err toward recompiling, never toward staleness.
 	epoch, err := deviceEpoch(dev)
 	if err != nil {
-		return nil, "", 0, err
+		return nil, "", 0, false, err
 	}
 	useCache := c.CacheEnabled && !bypassCache
 	key := ""
@@ -275,7 +333,8 @@ func (c *Client) compile(k *qpi.Circuit, device string, bypassCache bool) ([]byt
 				c.cacheStats.Hits++
 				c.lruList.MoveToFront(el)
 				c.mu.Unlock()
-				return entry.payload, entry.format, entry.epoch, nil
+				c.telem.Add("client/cache_hits", 1)
+				return entry.payload, entry.format, entry.epoch, true, nil
 			}
 			// Compiled against a calibration the device has left.
 			c.removeLocked(el)
@@ -283,10 +342,11 @@ func (c *Client) compile(k *qpi.Circuit, device string, bypassCache bool) ([]byt
 		}
 		c.cacheStats.Misses++
 		c.mu.Unlock()
+		c.telem.Add("client/cache_misses", 1)
 	}
 	res, err := compiler.Compile(k, dev)
 	if err != nil {
-		return nil, "", 0, err
+		return nil, "", 0, false, err
 	}
 	format := compiler.FormatFor(res.QIR)
 	if useCache {
@@ -302,7 +362,7 @@ func (c *Client) compile(k *qpi.Circuit, device string, bypassCache bool) ([]byt
 		}
 		c.mu.Unlock()
 	}
-	return res.Payload, format, epoch, nil
+	return res.Payload, format, epoch, false, nil
 }
 
 // containsPulse reports whether a QIR payload carries the pulse profile
@@ -339,6 +399,14 @@ type SubmitOptions struct {
 	MeasLevel readout.MeasLevel
 	// MeasReturn selects per-shot or shot-averaged acquisition records.
 	MeasReturn readout.MeasReturn
+	// TraceID is the telemetry trace identifier for this submission; empty
+	// mints one. Ignored when Timeline is set (the timeline carries its own).
+	TraceID string
+	// Timeline, when non-nil, is the trace the submission's lifecycle spans
+	// are recorded onto — used by callers that already recorded spans (a
+	// separate compile step) before submitting. Nil creates a fresh
+	// timeline per submission.
+	Timeline *telemetry.Timeline
 }
 
 // resultFromQDMI converts a device-layer result into the QPI form,
@@ -389,7 +457,13 @@ func (c *Client) SubmitCtx(ctx context.Context, k *qpi.Circuit, device string, o
 	if err != nil {
 		return nil, err
 	}
-	payload, format, epoch, err := c.compile(k, target, opts.BypassCache)
+	tl := opts.Timeline
+	if tl == nil {
+		tl = telemetry.NewTimeline(opts.TraceID, c.telem)
+	} else {
+		tl.AttachRegistry(c.telem)
+	}
+	payload, format, epoch, _, err := c.compileTraced(k, target, opts.BypassCache, tl)
 	if err != nil {
 		return nil, err
 	}
@@ -398,6 +472,7 @@ func (c *Client) SubmitCtx(ctx context.Context, k *qpi.Circuit, device string, o
 		Shots: opts.Shots, Priority: opts.Priority, Tag: opts.Tag,
 		MeasLevel: opts.MeasLevel, MeasReturn: opts.MeasReturn,
 		CalibrationEpoch: epoch, CompiledFor: target,
+		Timeline: tl,
 	}
 	if opts.Pool != "" {
 		req.Device, req.Pool = "", opts.Pool
@@ -519,6 +594,7 @@ func (a *NativeAdapter) Submit(ctx context.Context, k *qpi.Circuit, cfg qpi.Exec
 		BypassCache: cfg.BypassCache,
 		MeasLevel:   cfg.MeasLevel,
 		MeasReturn:  cfg.MeasReturn,
+		TraceID:     cfg.TraceID,
 	}
 	var cancel context.CancelFunc
 	if !cfg.Deadline.IsZero() {
@@ -574,6 +650,10 @@ func (h *ticketHandle) Status() qpi.ExecStatus {
 
 // Cancel implements qpi.Handle.
 func (h *ticketHandle) Cancel() { h.tk.Cancel() }
+
+// Timeline implements qpi.Handle: the job's trace as recorded through the
+// client, scheduler, and device.
+func (h *ticketHandle) Timeline() *telemetry.Timeline { return h.tk.Timeline() }
 
 // Wait implements qpi.Handle.
 func (h *ticketHandle) Wait(ctx context.Context) (*qpi.Result, error) {

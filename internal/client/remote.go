@@ -15,6 +15,7 @@ import (
 	"mqsspulse/internal/qpi"
 	"mqsspulse/internal/qrm"
 	"mqsspulse/internal/readout"
+	"mqsspulse/internal/telemetry"
 )
 
 // The remote protocol is one JSON object per line in each direction —
@@ -26,8 +27,9 @@ import (
 type remoteRequest struct {
 	// Op selects the request kind: "" (or "submit") is a legacy payload
 	// submission, "register_template" ships a parametric payload once per
-	// connection, and "submit_bound" references it by fingerprint with a
-	// small per-point bindings frame.
+	// connection, "submit_bound" references it by fingerprint with a
+	// small per-point bindings frame, and "telemetry" fetches the server's
+	// fleet metrics snapshot.
 	Op string `json:"op,omitempty"`
 	// Template is the Compiled.Encode frame for op "register_template".
 	Template json.RawMessage `json:"template,omitempty"`
@@ -57,6 +59,10 @@ type remoteRequest struct {
 	// if the target has recalibrated past it. Zero (legacy clients)
 	// disables the check.
 	CalibrationEpoch int64 `json:"calibration_epoch,omitempty"`
+	// TraceID propagates the submission's telemetry trace across the wire:
+	// the server records its lifecycle spans under this ID and returns them
+	// in the response, so the client-side timeline covers both machines.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // remoteResponse is the wire form of a completed job.
@@ -78,6 +84,13 @@ type remoteResponse struct {
 	IQ [][][2]float64 `json:"iq,omitempty"`
 	// Raw is [shot][capture][sample] → [i, q].
 	Raw [][][][2]float64 `json:"raw,omitempty"`
+	// Spans carries the server-side lifecycle spans of the submission
+	// (queue-wait, dispatch, bind, device-execute, ...) back to the client,
+	// which imports them under its own dispatch span so one timeline covers
+	// the whole round trip.
+	Spans []telemetry.SpanWire `json:"spans,omitempty"`
+	// Telemetry is the server's fleet metrics snapshot (op "telemetry").
+	Telemetry json.RawMessage `json:"telemetry,omitempty"`
 }
 
 // ServerOption tunes a Server.
@@ -227,6 +240,12 @@ func (s *Server) handle(req *remoteRequest, templates map[string]*ptemplate.Comp
 		}
 		templates[tpl.Fingerprint] = tpl
 		return remoteResponse{}
+	case "telemetry":
+		snap, err := json.Marshal(s.client.Telemetry())
+		if err != nil {
+			return remoteResponse{Error: "telemetry snapshot: " + err.Error()}
+		}
+		return remoteResponse{Telemetry: snap}
 	default:
 		return remoteResponse{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -286,19 +305,27 @@ func (s *Server) handleSubmit(req *remoteRequest, templates map[string]*ptemplat
 	qreq.MeasReturn = ret
 	qreq.CalibrationEpoch = req.CalibrationEpoch
 	qreq.CompiledFor = compiledFor
+	// The server-side timeline shares the caller's trace ID and feeds the
+	// server's own fleet registry; its spans ship back with the response so
+	// the client-side timeline covers both machines.
+	tl := s.client.NewTimeline(req.TraceID)
+	qreq.Timeline = tl
 	tk, err := s.client.qrm.SubmitCtx(ctx, qreq)
 	if err != nil {
-		return remoteResponse{Error: err.Error(), ErrorKind: errorKind(err)}
+		return remoteResponse{Error: err.Error(), ErrorKind: errorKind(err), Spans: telemetry.ToWire(tl.Spans())}
 	}
 	res, err := tk.Wait(ctx)
 	if err != nil {
-		return remoteResponse{Error: err.Error(), ErrorKind: errorKind(err)}
+		return remoteResponse{Error: err.Error(), ErrorKind: errorKind(err), Spans: telemetry.ToWire(tl.Spans())}
 	}
 	counts := make(map[string]int, len(res.Counts))
 	for mask, n := range res.Counts {
 		counts[fmt.Sprintf("%d", mask)] = n
 	}
-	resp := remoteResponse{Counts: counts, Shots: res.Shots, DurationSeconds: res.DurationSeconds}
+	resp := remoteResponse{
+		Counts: counts, Shots: res.Shots, DurationSeconds: res.DurationSeconds,
+		Spans: telemetry.ToWire(tl.Spans()),
+	}
 	if res.MeasLevel != readout.LevelDiscriminated {
 		resp.MeasLevel = res.MeasLevel.String()
 		resp.Bits = res.Bits
@@ -442,11 +469,50 @@ func (r *RemoteAdapter) SubmitPayloadCtx(ctx context.Context, device string, pay
 		req.MeasLevel = opts.MeasLevel.String()
 		req.MeasReturn = opts.MeasReturn.String()
 	}
-	resp, err := r.exchangeLocked(ctx, &req)
+	resp, err := r.exchangeTraced(ctx, &req, opts)
 	if err != nil {
 		return nil, err
 	}
 	return resultFromWire(resp, opts)
+}
+
+// exchangeTraced is exchangeLocked plus telemetry (r.mu must be held): the
+// whole wire round trip is recorded as a client-side dispatch span on
+// opts.Timeline, the trace ID ships in the request, and the server-side
+// spans returned in the response are imported under the dispatch span —
+// marked Remote so their durations never double-count into local
+// histograms. A nil timeline degrades to a plain exchange.
+func (r *RemoteAdapter) exchangeTraced(ctx context.Context, req *remoteRequest, opts SubmitOptions) (*remoteResponse, error) {
+	tl := opts.Timeline
+	req.TraceID = opts.TraceID
+	if tl != nil {
+		req.TraceID = tl.TraceID()
+	}
+	ds := tl.StartSpan(telemetry.StageDispatch, "remote:"+r.addr, 0)
+	resp, err := r.exchangeLocked(ctx, req)
+	ds.End()
+	if err != nil {
+		return nil, err
+	}
+	tl.Import(telemetry.FromWire(resp.Spans), ds.ID())
+	return resp, nil
+}
+
+// Telemetry fetches the remote server's fleet metrics snapshot — every
+// counter and latency histogram the server-side client accumulated.
+func (r *RemoteAdapter) Telemetry(ctx context.Context) (telemetry.Snapshot, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	req := remoteRequest{Op: "telemetry"}
+	resp, err := r.exchangeLocked(ctx, &req)
+	if err != nil {
+		return telemetry.Snapshot{}, err
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(resp.Telemetry, &snap); err != nil {
+		return telemetry.Snapshot{}, fmt.Errorf("client: remote telemetry frame: %w", err)
+	}
+	return snap, nil
 }
 
 // RegisterTemplate ships a compiled parametric template to the server,
@@ -507,7 +573,7 @@ func (r *RemoteAdapter) SubmitBoundCtx(ctx context.Context, device string, compi
 		req.MeasLevel = opts.MeasLevel.String()
 		req.MeasReturn = opts.MeasReturn.String()
 	}
-	resp, err := r.exchangeLocked(ctx, &req)
+	resp, err := r.exchangeTraced(ctx, &req, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -652,3 +718,89 @@ func (r *RemoteAdapter) wireError(ctx context.Context, err error) error {
 func (r *RemoteAdapter) SubmitPayload(device string, payload []byte, format qdmi.ProgramFormat, shots int) (*qpi.Result, error) {
 	return r.SubmitPayloadCtx(context.Background(), device, payload, format, SubmitOptions{Shots: shots})
 }
+
+// StartPayloadCtx is the asynchronous form of SubmitPayloadCtx: it returns
+// a qpi.Handle immediately and performs the wire round trip in the
+// background. The handle's Timeline carries the full cross-machine trace —
+// any spans already on opts.Timeline (a compile span from CompileTraced),
+// the client-side dispatch span around the exchange, and the imported
+// server-side spans. Cancelling the handle (or ctx) interrupts the wait.
+func (r *RemoteAdapter) StartPayloadCtx(ctx context.Context, device string, payload []byte, format qdmi.ProgramFormat, opts SubmitOptions) (qpi.Handle, error) {
+	tl := opts.Timeline
+	if tl == nil {
+		tl = telemetry.NewTimeline(opts.TraceID, nil)
+		opts.Timeline = tl
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	h := &remoteHandle{
+		id:     tl.TraceID(),
+		tl:     tl,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		status: qpi.ExecRunning,
+	}
+	go func() {
+		defer close(h.done)
+		defer cancel()
+		res, err := r.SubmitPayloadCtx(hctx, device, payload, format, opts)
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		h.res, h.err = res, err
+		switch {
+		case err == nil:
+			h.status = qpi.ExecDone
+		case errors.Is(err, context.Canceled), errors.Is(err, qrm.ErrCancelled):
+			h.status = qpi.ExecCancelled
+		default:
+			h.status = qpi.ExecFailed
+		}
+	}()
+	return h, nil
+}
+
+// remoteHandle adapts an in-flight remote submission to the qpi.Handle
+// future interface. The remote protocol is synchronous per exchange, so
+// the handle tracks a background goroutine performing the round trip.
+type remoteHandle struct {
+	id     string
+	tl     *telemetry.Timeline
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu     sync.Mutex
+	status qpi.ExecStatus
+	res    *qpi.Result
+	err    error
+}
+
+// ID implements qpi.Handle: the submission's trace ID (the remote wire has
+// no job-ID concept of its own).
+func (h *remoteHandle) ID() string { return h.id }
+
+// Status implements qpi.Handle.
+func (h *remoteHandle) Status() qpi.ExecStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.status
+}
+
+// Cancel implements qpi.Handle: the exchange context is cancelled, which
+// interrupts the wire wait (and, through the shipped timeout, bounds the
+// server-side job).
+func (h *remoteHandle) Cancel() { h.cancel() }
+
+// Wait implements qpi.Handle.
+func (h *remoteHandle) Wait(ctx context.Context) (*qpi.Result, error) {
+	select {
+	case <-h.done:
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return h.res, h.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Timeline implements qpi.Handle: the cross-machine trace of the
+// submission.
+func (h *remoteHandle) Timeline() *telemetry.Timeline { return h.tl }

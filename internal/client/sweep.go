@@ -3,10 +3,12 @@ package client
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"mqsspulse/internal/ptemplate"
 	"mqsspulse/internal/qpi"
 	"mqsspulse/internal/qrm"
+	"mqsspulse/internal/telemetry"
 )
 
 // CompileTemplate lowers a parametric template against a device exactly
@@ -17,15 +19,23 @@ import (
 // CacheStats.Binds), and a calibration-epoch bump invalidates the entry
 // exactly like a concrete payload's.
 func (c *Client) CompileTemplate(t *ptemplate.Template, device string) (*ptemplate.Compiled, error) {
+	compiled, _, err := c.compileTemplate(t, device)
+	return compiled, err
+}
+
+// compileTemplate is CompileTemplate plus a cache-hot flag: true when the
+// lookup was served from a cached compiled template (a bind, not a
+// compile) — the flag the sweep path turns into cache-hit/miss spans.
+func (c *Client) compileTemplate(t *ptemplate.Template, device string) (*ptemplate.Compiled, bool, error) {
 	dev, err := c.session.Device(device)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	// Epoch before the cache probe, mirroring compile(): a recalibration
 	// landing mid-lookup can only make the entry look stale.
 	epoch, err := deviceEpoch(dev)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	key := ""
 	if c.CacheEnabled {
@@ -39,7 +49,8 @@ func (c *Client) CompileTemplate(t *ptemplate.Template, device string) (*ptempla
 				c.cacheStats.Binds++
 				c.lruList.MoveToFront(el)
 				c.mu.Unlock()
-				return entry.tpl, nil
+				c.telem.Add("client/cache_hits", 1)
+				return entry.tpl, true, nil
 			}
 			// Compiled against a calibration the device has left (or the key
 			// collided with a non-template entry): drop and recompile.
@@ -48,10 +59,11 @@ func (c *Client) CompileTemplate(t *ptemplate.Template, device string) (*ptempla
 		}
 		c.cacheStats.Misses++
 		c.mu.Unlock()
+		c.telem.Add("client/cache_misses", 1)
 	}
 	compiled, err := ptemplate.Lower(t, dev, device)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if c.CacheEnabled {
 		c.mu.Lock()
@@ -70,7 +82,7 @@ func (c *Client) CompileTemplate(t *ptemplate.Template, device string) (*ptempla
 		}
 		c.mu.Unlock()
 	}
-	return compiled, nil
+	return compiled, false, nil
 }
 
 // SubmitSweepCtx enqueues one job per sweep point: the template lowers at
@@ -101,21 +113,38 @@ func (c *Client) SubmitSweepCtx(ctx context.Context, t *ptemplate.Template, devi
 	if err != nil {
 		return fail(err)
 	}
+	// One trace ID spans the sweep; each point gets its own timeline under
+	// a /p<i> suffix so per-point stage latencies stay separable while the
+	// fleet histograms see every point.
+	sweepTrace := opts.TraceID
+	if sweepTrace == "" {
+		sweepTrace = telemetry.NewTraceID()
+	}
 	for i, b := range bindings {
+		tl := telemetry.NewTimeline(fmt.Sprintf("%s/p%d", sweepTrace, i), c.telem)
 		// Per-point template lookup: point 0 compiles, the rest bind. Going
 		// through the cache each iteration (rather than hoisting one compile)
 		// keeps a mid-sweep recalibration from dispatching stale points —
 		// the invalidated entry recompiles at the new epoch.
-		compiled, err := c.CompileTemplate(t, target)
+		compileStart := time.Now()
+		compiled, hot, err := c.compileTemplate(t, target)
 		if err != nil {
 			errs[i] = err
 			continue
 		}
+		compileDur := time.Since(compileStart)
+		span := tl.Record(telemetry.StageCompile, target, compileStart, compileDur, 0)
+		cacheStage := telemetry.StageCacheMiss
+		if hot {
+			cacheStage = telemetry.StageCacheHit
+		}
+		tl.Record(cacheStage, target, compileStart, compileDur, span)
 		req := qrm.Request{
 			Device: device, Template: compiled, Bindings: b,
 			Shots: opts.Shots, Priority: opts.Priority, Tag: opts.Tag,
 			MeasLevel: opts.MeasLevel, MeasReturn: opts.MeasReturn,
 			CalibrationEpoch: compiled.Epoch, CompiledFor: target,
+			Timeline: tl,
 		}
 		if opts.Pool != "" {
 			req.Device, req.Pool = "", opts.Pool

@@ -11,6 +11,7 @@ import (
 	"mqsspulse/internal/qir"
 	"mqsspulse/internal/readout"
 	"mqsspulse/internal/simq"
+	"mqsspulse/internal/telemetry"
 	"mqsspulse/internal/waveform"
 )
 
@@ -433,6 +434,7 @@ func (d *SimDevice) runJob(job *qdmi.AsyncJob, mod *qir.Module, binding *qir.Dev
 	if opts.MeasLevel != readout.LevelDiscriminated {
 		execOpts.Readout = d.readoutModel(opts)
 	}
+	execStart := time.Now()
 	res, err := simq.NewExecutor(model).Run(sp, execOpts)
 	if err != nil {
 		if !errors.Is(err, simq.ErrInterrupted) {
@@ -440,6 +442,15 @@ func (d *SimDevice) runJob(job *qdmi.AsyncJob, mod *qir.Module, binding *qir.Dev
 		}
 		return
 	}
+	// Device-side telemetry: the executor reports how much of the run was
+	// readout sampling/post-processing, splitting the wall time into the
+	// device-execute and readout-post stages under the scheduler's dispatch
+	// span.
+	execEnd := time.Now()
+	opts.Telemetry.Record(telemetry.StageDeviceExecute, d.cfg.Name,
+		execStart, execEnd.Sub(execStart)-res.ReadoutWall, opts.TelemetryParent)
+	opts.Telemetry.Record(telemetry.StageReadoutPost, d.cfg.Name,
+		execEnd.Add(-res.ReadoutWall), res.ReadoutWall, opts.TelemetryParent)
 	job.Finish(&qdmi.Result{
 		Counts:          res.Counts,
 		Shots:           res.Shots,

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mqsspulse/internal/client"
+	"mqsspulse/internal/devices"
+	"mqsspulse/internal/qdmi"
+	"mqsspulse/internal/qpi"
+)
+
+// fleetBenchConfig is a minimal single-qubit simulator (dim 2, short
+// pulses, no couplers): its per-job simulation cost is microseconds, so
+// the configured electronics overhead dominates the service time and a
+// fleet bench measures scheduler placement, not Lindblad integration.
+func fleetBenchConfig(name string, seed int64) devices.Config {
+	return devices.Config{
+		Name: name, Technology: "simulator", Version: "tiny-1.0",
+		SampleRateHz: 1e9, Granularity: 1, MinSamples: 1, MaxSamples: 1 << 12,
+		DriveRabiHz: 250e6, GateSamples: 8, ReadoutSamples: 8,
+		ReadoutFidelity: 0.99, Seed: seed, MaxShots: 1 << 12,
+		Sites: []devices.SiteConfig{{Dim: 2, FreqHz: 5e9, T1Seconds: 1e-3, T2Seconds: 1e-3}},
+	}
+}
+
+// FleetBenchRig builds an n-member pool ("fleet") of tiny single-qubit
+// simulators with a fixed per-job electronics overhead behind one client,
+// and returns a closure that pushes a burst of `jobs` pool-targeted jobs
+// through the fleet scheduler and waits for all of them, plus the client
+// (for telemetry/statistics inspection) and a cleanup releasing the
+// stack. It is the single source of the fleet bench workload used by
+// cmd/mqss-bench's JSON report.
+func FleetBenchRig(n int, overhead time.Duration) (run func(jobs int) error, cl *client.Client, cleanup func(), err error) {
+	drv := qdmi.NewDriver()
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		dev, err := devices.New(fleetBenchConfig(fmt.Sprintf("fleet-bench-%d", i), int64(7+i)))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		dev.SetJobOverhead(overhead)
+		if err := drv.RegisterDevice(dev); err != nil {
+			return nil, nil, nil, err
+		}
+		names[i] = dev.Name()
+	}
+	ses := drv.OpenSession()
+	cl = client.New(ses)
+	cleanup = func() {
+		cl.Close()
+		ses.Close()
+	}
+	if err := cl.QRM().RegisterPool("fleet", names...); err != nil {
+		cleanup()
+		return nil, nil, nil, err
+	}
+	k := qpi.NewCircuit("fleet-bench-probe", 1, 1).X(0).Measure(0, 0)
+	if err := k.End(); err != nil {
+		cleanup()
+		return nil, nil, nil, err
+	}
+	run = func(jobs int) error {
+		kernels := make([]*qpi.Circuit, jobs)
+		for i := range kernels {
+			kernels[i] = k
+		}
+		results, err := cl.RunBatch(context.Background(), kernels, "",
+			client.SubmitOptions{Shots: 16, Pool: "fleet", Tag: "fleet-bench"})
+		if err != nil {
+			return err
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				return fmt.Errorf("experiments: fleet bench job %d: %w", i, r.Err)
+			}
+		}
+		return nil
+	}
+	return run, cl, cleanup, nil
+}

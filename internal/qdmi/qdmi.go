@@ -14,6 +14,7 @@ import (
 	"mqsspulse/internal/pulse"
 	"mqsspulse/internal/qir"
 	"mqsspulse/internal/readout"
+	"mqsspulse/internal/telemetry"
 	"mqsspulse/internal/waveform"
 )
 
@@ -212,6 +213,13 @@ type JobOptions struct {
 	MeasLevel readout.MeasLevel
 	// MeasReturn selects per-shot or shot-averaged records.
 	MeasReturn readout.MeasReturn
+	// Telemetry, when non-nil, receives the device-side execution spans
+	// (device-execute, readout-post) of the submitting job's trace; nil
+	// submissions run uninstrumented.
+	Telemetry *telemetry.Timeline
+	// TelemetryParent is the span the device-side spans nest under
+	// (the scheduler's dispatch span); zero attaches them at top level.
+	TelemetryParent telemetry.SpanID
 }
 
 // AcquisitionSubmitter is an optional Device capability: devices whose

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"mqsspulse/internal/telemetry"
 )
 
 // This file is the execution half of the QPI: the context-aware,
@@ -81,6 +83,12 @@ type ExecConfig struct {
 	MeasLevel MeasLevel
 	// MeasReturn selects per-shot or shot-averaged acquisition records.
 	MeasReturn MeasReturn
+	// TraceID is the telemetry trace identifier carried through every
+	// layer the submission crosses (client, scheduler, device, remote
+	// wire). Start mints one when the caller leaves it empty, so every
+	// execution is traceable; WithTraceID overrides it to correlate a
+	// submission with an external tracing system.
+	TraceID string
 }
 
 // ExecOption tunes one submission.
@@ -122,6 +130,11 @@ func WithMeasLevel(l MeasLevel) ExecOption { return func(c *ExecConfig) { c.Meas
 // (ReturnAverage) acquisition records at kerneled/raw measurement levels.
 func WithMeasReturn(r MeasReturn) ExecOption { return func(c *ExecConfig) { c.MeasReturn = r } }
 
+// WithTraceID sets the telemetry trace identifier instead of letting
+// Start mint one — the hook for correlating a submission with an external
+// tracing system.
+func WithTraceID(id string) ExecOption { return func(c *ExecConfig) { c.TraceID = id } }
+
 // NewExecConfig resolves options over the defaults.
 func NewExecConfig(opts ...ExecOption) ExecConfig {
 	cfg := ExecConfig{Shots: DefaultShots}
@@ -145,6 +158,11 @@ type Handle interface {
 	// Cancel requests cancellation of the execution itself: queued work
 	// never starts; running work is aborted where the device supports it.
 	Cancel()
+	// Timeline returns the job's telemetry trace: the ordered lifecycle
+	// spans (compile, queue-wait, dispatch, device-execute, ...) recorded
+	// as the submission crossed the stack. Backends that record no
+	// telemetry return nil.
+	Timeline() *telemetry.Timeline
 }
 
 // Backend executes finished kernels — implemented by the MQSS client
@@ -170,6 +188,11 @@ func Start(ctx context.Context, b Backend, c *Circuit, opts ...ExecOption) (Hand
 	cfg := NewExecConfig(opts...)
 	if cfg.Shots <= 0 {
 		return nil, fmt.Errorf("qpi: non-positive shot count %d", cfg.Shots)
+	}
+	if cfg.TraceID == "" {
+		// Every execution is traceable: the ID rides ExecConfig into the
+		// backend and from there through scheduler, device, and wire.
+		cfg.TraceID = telemetry.NewTraceID()
 	}
 	return b.Submit(ctx, c, cfg)
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"mqsspulse/internal/telemetry"
 	"mqsspulse/internal/waveform"
 )
 
@@ -138,9 +139,10 @@ type fakeHandle struct {
 	cancelled bool
 }
 
-func (h *fakeHandle) ID() string         { return "fake-1" }
-func (h *fakeHandle) Status() ExecStatus { return ExecDone }
-func (h *fakeHandle) Cancel()            { h.cancelled = true }
+func (h *fakeHandle) ID() string                    { return "fake-1" }
+func (h *fakeHandle) Status() ExecStatus            { return ExecDone }
+func (h *fakeHandle) Cancel()                       { h.cancelled = true }
+func (h *fakeHandle) Timeline() *telemetry.Timeline { return nil }
 func (h *fakeHandle) Wait(ctx context.Context) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -171,6 +173,23 @@ func TestRunDispatch(t *testing.T) {
 	}
 	if b.lastCfg.Priority != 3 || b.lastCfg.Tag != "t1" {
 		t.Fatalf("options not threaded: %+v", b.lastCfg)
+	}
+	if b.lastCfg.TraceID == "" {
+		t.Fatal("Start did not mint a trace ID")
+	}
+}
+
+func TestRunTraceIDOverride(t *testing.T) {
+	c := NewCircuit("c", 1, 1).X(0).Measure(0, 0)
+	if err := c.End(); err != nil {
+		t.Fatal(err)
+	}
+	b := &fakeBackend{}
+	if _, err := Run(context.Background(), b, c, WithTraceID("trace-ext")); err != nil {
+		t.Fatal(err)
+	}
+	if b.lastCfg.TraceID != "trace-ext" {
+		t.Fatalf("trace ID override lost: %q", b.lastCfg.TraceID)
 	}
 }
 

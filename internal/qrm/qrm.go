@@ -29,10 +29,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mqsspulse/internal/ptemplate"
 	"mqsspulse/internal/qdmi"
 	"mqsspulse/internal/readout"
+	"mqsspulse/internal/telemetry"
 )
 
 // ErrCancelled is the sentinel wrapped into the error of a cancelled
@@ -100,12 +103,20 @@ type Request struct {
 	Template *ptemplate.Compiled
 	// Bindings is this job's sweep point; required when Template is set.
 	Bindings ptemplate.Bindings
+	// Timeline, when non-nil, is the job's telemetry trace: the scheduler
+	// records queue-wait, dispatch, and (template) bind spans onto it, and
+	// hands it to the device through qdmi.JobOptions for the device-side
+	// stages. Nil submissions run untraced (per-device queue-wait
+	// histograms still accumulate when SetTelemetry installed a registry).
+	Timeline *telemetry.Timeline
 }
 
-// queued pairs a ticket with its request.
+// queued pairs a ticket with its request and enqueue time (the queue-wait
+// span's start).
 type queued struct {
-	ticket *Ticket
-	req    Request
+	ticket   *Ticket
+	req      Request
+	enqueued time.Time
 }
 
 // jobHeap orders by (priority desc, seq asc).
@@ -158,6 +169,11 @@ type Scheduler struct {
 		submitted, completed, failed, cancelled int64
 		rejected, steals, maintenanceRuns       int64
 	}
+
+	// telem is the fleet metrics registry (see SetTelemetry): queue-wait
+	// histograms per device and pool, dispatch/steal counters. Atomic so
+	// the hot dispatch path reads it without taking s.mu.
+	telem atomic.Pointer[telemetry.Registry]
 }
 
 // New creates a scheduler over a QDMI session.
@@ -170,6 +186,13 @@ func New(session *qdmi.Session) *Scheduler {
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
+
+// SetTelemetry installs the fleet metrics registry the scheduler records
+// into: queue-wait latency histograms per device ("queue_wait/device/<name>")
+// and pool ("queue_wait/pool/<name>"), plus dispatch, steal, and outcome
+// counters under "qrm/". Nil disables. The client installs its registry
+// here so one snapshot covers cache, scheduler, and device stages.
+func (s *Scheduler) SetTelemetry(reg *telemetry.Registry) { s.telem.Store(reg) }
 
 // SetMaintenanceHook installs the calibration hook (nil disables).
 func (s *Scheduler) SetMaintenanceHook(h MaintenanceHook) {
@@ -248,9 +271,10 @@ func (s *Scheduler) SubmitCtx(ctx context.Context, req Request) (*Ticket, error)
 	}
 	s.nextID++
 	s.nextSeq++
-	t := newTicket(ctx, s.nextID, req.Priority, s.nextSeq, req.Tag)
-	heap.Push(target, &queued{ticket: t, req: req})
+	t := newTicket(ctx, s.nextID, req.Priority, s.nextSeq, req.Tag, req.Timeline)
+	heap.Push(target, &queued{ticket: t, req: req, enqueued: time.Now()})
 	s.n.submitted++
+	s.telem.Load().Add("qrm/submitted", 1)
 	s.cond.Broadcast() // any idle worker may be able to take or steal this
 	s.mu.Unlock()
 	return t, nil
@@ -282,6 +306,7 @@ func (s *Scheduler) worker(d *deviceState) {
 		if stolen {
 			d.stolen++
 			s.n.steals++
+			s.telem.Load().Add("qrm/steals", 1)
 		}
 		d.inflight++
 		if d.inflight >= d.slots && d.heap.Len() > 0 {
@@ -346,6 +371,17 @@ func (s *Scheduler) runItem(d *deviceState, item *queued, hook MaintenanceHook) 
 		s.countCancelled()
 		return
 	}
+	// Queue-wait ends here — the instant the job leaves the queue for a
+	// device slot. It is a first-class latency: the span lands on the job's
+	// own timeline, and the duration feeds the fleet histograms keyed by
+	// dispatch device and (for pool submissions) pool.
+	wait := time.Since(item.enqueued)
+	item.req.Timeline.Record(telemetry.StageQueueWait, d.name, item.enqueued, wait, 0)
+	reg := s.telem.Load()
+	reg.Observe("queue_wait/device/"+d.name, wait)
+	if item.req.Pool != "" {
+		reg.Observe("queue_wait/pool/"+item.req.Pool, wait)
+	}
 	item.ticket.setDevice(d.name)
 	dev, err := s.session.Device(d.name)
 	if err != nil {
@@ -377,14 +413,22 @@ func (s *Scheduler) runItem(d *deviceState, item *queued, hook MaintenanceHook) 
 		s.cancelled(item)
 		return
 	}
-	job, err := submitToDevice(dev, item.req)
+	// The dispatch span stays open across the whole device round trip so
+	// the bind and device-side spans can nest under it; StartSpan allocates
+	// its ID up front for exactly that reason. It is ended (idempotently)
+	// before the ticket resolves on every path, so a waiter that wakes on
+	// ticket completion always sees the complete timeline.
+	ds := item.req.Timeline.StartSpan(telemetry.StageDispatch, d.name, 0)
+	job, err := submitToDevice(dev, item.req, ds.ID())
 	if err != nil {
+		ds.End()
 		s.fail(item, err)
 		return
 	}
 	s.mu.Lock()
 	d.dispatched++
 	s.mu.Unlock()
+	reg.Add("qrm/dispatched", 1)
 	st := job.Wait(item.ticket.ctx)
 	if !st.Terminal() {
 		// The ticket was cancelled while the device job was in flight.
@@ -399,10 +443,12 @@ func (s *Scheduler) runItem(d *deviceState, item *queued, hook MaintenanceHook) 
 		if !st.Terminal() {
 			// The device cannot abort: resolve the ticket as cancelled
 			// and let the orphaned job finish unobserved.
+			ds.End()
 			s.cancelled(item)
 			return
 		}
 	}
+	ds.End()
 	switch st {
 	case qdmi.JobCancelled:
 		s.cancelled(item)
@@ -415,6 +461,7 @@ func (s *Scheduler) runItem(d *deviceState, item *queued, hook MaintenanceHook) 
 		s.mu.Lock()
 		s.n.completed++
 		s.mu.Unlock()
+		reg.Add("qrm/completed", 1)
 		item.ticket.finish(res, nil, qdmi.JobDone)
 	default: // JobFailed
 		_, err := job.Result()
@@ -466,13 +513,18 @@ func (s *Scheduler) checkEpoch(dispatchDevice string, req Request) error {
 // binding work — and prefer the qdmi.ModuleSubmitter capability, which
 // skips the emit/parse round trip; devices without it receive emitted
 // payload bytes through the ordinary path.
-func submitToDevice(dev qdmi.Device, req Request) (qdmi.Job, error) {
+func submitToDevice(dev qdmi.Device, req Request, parent telemetry.SpanID) (qdmi.Job, error) {
 	if req.Template != nil {
+		bindStart := time.Now()
 		mod, err := req.Template.Bind(req.Bindings)
 		if err != nil {
 			return nil, err
 		}
-		opts := qdmi.JobOptions{Shots: req.Shots, MeasLevel: req.MeasLevel, MeasReturn: req.MeasReturn}
+		req.Timeline.Record(telemetry.StageBind, dev.Name(), bindStart, time.Since(bindStart), parent)
+		opts := qdmi.JobOptions{
+			Shots: req.Shots, MeasLevel: req.MeasLevel, MeasReturn: req.MeasReturn,
+			Telemetry: req.Timeline, TelemetryParent: parent,
+		}
 		if ms, ok := dev.(qdmi.ModuleSubmitter); ok {
 			return ms.SubmitModule(mod, opts)
 		}
@@ -482,6 +534,7 @@ func submitToDevice(dev qdmi.Device, req Request) (qdmi.Job, error) {
 	if as, ok := dev.(qdmi.AcquisitionSubmitter); ok {
 		return as.SubmitJobOpts(req.Payload, req.Format, qdmi.JobOptions{
 			Shots: req.Shots, MeasLevel: req.MeasLevel, MeasReturn: req.MeasReturn,
+			Telemetry: req.Timeline, TelemetryParent: parent,
 		})
 	}
 	if req.MeasLevel != readout.LevelDiscriminated {
@@ -495,6 +548,7 @@ func (s *Scheduler) fail(item *queued, err error) {
 	s.mu.Lock()
 	s.n.failed++
 	s.mu.Unlock()
+	s.telem.Load().Add("qrm/failed", 1)
 	item.ticket.finish(nil, err, qdmi.JobFailed)
 }
 
@@ -507,6 +561,7 @@ func (s *Scheduler) countCancelled() {
 	s.mu.Lock()
 	s.n.cancelled++
 	s.mu.Unlock()
+	s.telem.Load().Add("qrm/cancelled", 1)
 }
 
 // Close stops accepting jobs and shuts the workers down after their queues

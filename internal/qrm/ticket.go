@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"mqsspulse/internal/qdmi"
+	"mqsspulse/internal/telemetry"
 )
 
 // Ticket tracks a submitted request through the queue and device. It is the
@@ -17,6 +18,7 @@ type Ticket struct {
 	priority int
 	seq      int64 // FIFO tiebreaker
 	tag      string
+	timeline *telemetry.Timeline // the job's trace; nil for untraced work
 
 	// ctx is cancelled when the ticket is cancelled (explicitly or through
 	// the submit context) or reaches a terminal state; the dispatch worker
@@ -32,10 +34,10 @@ type Ticket struct {
 	done   chan struct{} // closed when the ticket reaches a terminal state
 }
 
-func newTicket(ctx context.Context, id int64, prio int, seq int64, tag string) *Ticket {
+func newTicket(ctx context.Context, id int64, prio int, seq int64, tag string, tl *telemetry.Timeline) *Ticket {
 	tctx, tcancel := context.WithCancel(ctx)
 	t := &Ticket{
-		id: id, priority: prio, seq: seq, tag: tag,
+		id: id, priority: prio, seq: seq, tag: tag, timeline: tl,
 		ctx: tctx, cancelCtx: tcancel,
 		status: qdmi.JobQueued,
 		done:   make(chan struct{}),
@@ -52,6 +54,10 @@ func (t *Ticket) ID() int64 { return t.id }
 
 // Tag returns the caller label given at submission.
 func (t *Ticket) Tag() string { return t.tag }
+
+// Timeline returns the job's telemetry trace (the Request.Timeline it was
+// submitted with), or nil for untraced work.
+func (t *Ticket) Timeline() *telemetry.Timeline { return t.timeline }
 
 // Status returns the ticket's lifecycle state without blocking.
 func (t *Ticket) Status() qdmi.JobStatus {

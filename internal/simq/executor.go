@@ -7,6 +7,7 @@ import (
 	"math/cmplx"
 	"math/rand"
 	"sort"
+	"time"
 
 	"mqsspulse/internal/linalg"
 	"mqsspulse/internal/pulse"
@@ -97,6 +98,11 @@ type ExecResult struct {
 	FinalState *State
 	// FinalDensity is set when the density-matrix engine ran.
 	FinalDensity *Density
+	// ReadoutWall is the wall-clock time spent sampling and post-processing
+	// measurement outcomes (bit sampling, readout error, IQ synthesis) after
+	// the state evolution finished — the telemetry split between the
+	// device-execute and readout-post stages. Zero for capture-free runs.
+	ReadoutWall time.Duration
 }
 
 // Executor integrates scheduled pulse programs against a SystemModel. It is
@@ -235,6 +241,8 @@ func (e *Executor) Run(sp *pulse.ScheduledProgram, opts ExecOptions) (*ExecResul
 		}
 		return res, nil
 	}
+	roStart := time.Now()
+	defer func() { res.ReadoutWall = time.Since(roStart) }()
 	sites := make([]int, len(captures))
 	for i, c := range captures {
 		sites[i] = c.site

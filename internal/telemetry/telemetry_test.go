@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTimelineRecordAndOrder checks spans come back ordered by start time
+// with parent links intact, and that stage durations feed the attached
+// registry.
+func TestTimelineRecordAndOrder(t *testing.T) {
+	reg := NewRegistry()
+	tl := NewTimeline("", reg)
+	if tl.TraceID() == "" {
+		t.Fatal("empty trace ID not minted")
+	}
+	t0 := time.Now()
+	compile := tl.Record(StageCompile, "sc-0", t0, 2*time.Millisecond, 0)
+	tl.Record(StageCacheMiss, "sc-0", t0, 2*time.Millisecond, compile)
+	tl.Record(StageQueueWait, "sc-0", t0.Add(2*time.Millisecond), time.Millisecond, 0)
+	spans := tl.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start.Before(spans[i-1].Start) {
+			t.Fatalf("spans out of order: %v before %v", spans[i], spans[i-1])
+		}
+	}
+	if spans[1].Stage != StageCacheMiss || spans[1].Parent != compile {
+		t.Fatalf("cache-miss child mis-linked: %+v", spans[1])
+	}
+	if got := tl.Wall(); got != 3*time.Millisecond {
+		t.Fatalf("wall = %v, want 3ms", got)
+	}
+	snap := reg.Snapshot()
+	if snap.Histograms["stage/compile"].Count != 1 {
+		t.Fatalf("compile stage not observed: %+v", snap.Histograms)
+	}
+}
+
+// TestTimelineNilSafe checks the nil-receiver contract instrumentation
+// points rely on.
+func TestTimelineNilSafe(t *testing.T) {
+	var tl *Timeline
+	if id := tl.Record(StageCompile, "", time.Now(), time.Second, 0); id != 0 {
+		t.Fatalf("nil timeline recorded span %d", id)
+	}
+	sp := tl.StartSpan(StageDispatch, "", 0)
+	if sp.ID() != 0 {
+		t.Fatal("nil active span has an ID")
+	}
+	sp.End() // must not panic
+	tl.Import([]Span{{ID: 1, Stage: StageBind}}, 0)
+	if tl.Spans() != nil || tl.TraceID() != "" || tl.Wall() != 0 {
+		t.Fatal("nil timeline leaked state")
+	}
+}
+
+// TestActiveSpanParentBeforeEnd checks a child may reference the parent's
+// ID before the parent ends (the dispatch span stays open across the
+// device-execute child).
+func TestActiveSpanParentBeforeEnd(t *testing.T) {
+	tl := NewTimeline("trace-x", nil)
+	parent := tl.StartSpan(StageDispatch, "dev", 0)
+	tl.Record(StageDeviceExecute, "dev", time.Now(), time.Millisecond, parent.ID())
+	parent.End()
+	parent.End() // idempotent
+	spans := tl.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	var child, disp *Span
+	for i := range spans {
+		switch spans[i].Stage {
+		case StageDeviceExecute:
+			child = &spans[i]
+		case StageDispatch:
+			disp = &spans[i]
+		}
+	}
+	if child == nil || disp == nil || child.Parent != disp.ID {
+		t.Fatalf("parent link broken: %+v", spans)
+	}
+}
+
+// TestTimelineConcurrent hammers one timeline from many goroutines (run
+// under -race in CI): per-job timelines are shared between the submitting
+// goroutine, the scheduler worker, and the device goroutine.
+func TestTimelineConcurrent(t *testing.T) {
+	tl := NewTimeline("", NewRegistry())
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := tl.StartSpan(StageDispatch, "dev", 0)
+				tl.Record(StageBind, "dev", time.Now(), time.Microsecond, sp.ID())
+				sp.End()
+				if i%100 == 0 {
+					_ = tl.Spans()
+					_ = tl.Wall()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tl.Spans()); got != 2*workers*perWorker {
+		t.Fatalf("got %d spans, want %d", got, 2*workers*perWorker)
+	}
+}
+
+// TestImportWire round-trips spans through the wire form and grafts them
+// under a local parent: IDs remap, structure survives, Remote is set.
+func TestImportWire(t *testing.T) {
+	server := NewTimeline("trace-r", nil)
+	start := time.Now()
+	qw := server.Record(StageQueueWait, "sc-0", start, time.Millisecond, 0)
+	server.Record(StageDeviceExecute, "sc-0", start.Add(time.Millisecond), 2*time.Millisecond, qw)
+
+	local := NewTimeline("trace-r", NewRegistry())
+	disp := local.StartSpan(StageDispatch, "remote", 0)
+	local.Import(FromWire(ToWire(server.Spans())), disp.ID())
+	disp.End()
+
+	spans := local.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	var wait, exec, dispatch *Span
+	for i := range spans {
+		switch spans[i].Stage {
+		case StageQueueWait:
+			wait = &spans[i]
+		case StageDeviceExecute:
+			exec = &spans[i]
+		case StageDispatch:
+			dispatch = &spans[i]
+		}
+	}
+	if wait == nil || exec == nil || dispatch == nil {
+		t.Fatalf("missing stages: %+v", spans)
+	}
+	if !wait.Remote || !exec.Remote || dispatch.Remote {
+		t.Fatal("Remote marks wrong")
+	}
+	if wait.Parent != dispatch.ID {
+		t.Fatalf("imported top-level span not under dispatch: parent=%d", wait.Parent)
+	}
+	if exec.Parent != wait.ID {
+		t.Fatalf("imported child structure lost: parent=%d want %d", exec.Parent, wait.ID)
+	}
+	// Imported spans must not feed the local registry.
+	if n := local.reg.Snapshot().Histograms["stage/queue-wait"].Count; n != 0 {
+		t.Fatalf("imported span double-counted into registry (%d)", n)
+	}
+}

@@ -1,0 +1,57 @@
+package telemetry
+
+import "time"
+
+// SpanWire is the JSON wire form of a Span, used by the remote protocol
+// to carry server-side stages back to the client's timeline. Start
+// travels as Unix nanoseconds (wall clock — the monotonic component
+// cannot cross a process boundary), so imported spans order correctly
+// against each other but may skew against local spans by the clock
+// offset between the two machines.
+type SpanWire struct {
+	// ID is the span's identifier within the recording timeline.
+	ID int64 `json:"id"`
+	// Parent is the recording-side parent span ID (0 = top level).
+	Parent int64 `json:"parent,omitempty"`
+	// Stage is the lifecycle phase label.
+	Stage string `json:"stage"`
+	// Device names the device or pool context, when one applies.
+	Device string `json:"device,omitempty"`
+	// StartUnixNano is the span start as Unix nanoseconds.
+	StartUnixNano int64 `json:"start_unix_nano"`
+	// DurationNs is the span extent in nanoseconds.
+	DurationNs int64 `json:"duration_ns"`
+}
+
+// ToWire converts spans to their wire form.
+func ToWire(spans []Span) []SpanWire {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]SpanWire, len(spans))
+	for i, s := range spans {
+		out[i] = SpanWire{
+			ID: int64(s.ID), Parent: int64(s.Parent),
+			Stage: string(s.Stage), Device: s.Device,
+			StartUnixNano: s.Start.UnixNano(), DurationNs: int64(s.Duration),
+		}
+	}
+	return out
+}
+
+// FromWire rebuilds spans from their wire form; feed the result to
+// Timeline.Import, which remaps the IDs and marks them Remote.
+func FromWire(ws []SpanWire) []Span {
+	if len(ws) == 0 {
+		return nil
+	}
+	out := make([]Span, len(ws))
+	for i, w := range ws {
+		out[i] = Span{
+			ID: SpanID(w.ID), Parent: SpanID(w.Parent),
+			Stage: Stage(w.Stage), Device: w.Device,
+			Start: time.Unix(0, w.StartUnixNano), Duration: time.Duration(w.DurationNs),
+		}
+	}
+	return out
+}
