@@ -109,6 +109,13 @@ func WithTag(tag string) ExecOption { return qpi.WithTag(tag) }
 // member (see Scheduler.RegisterPool).
 func WithPool(name string) ExecOption { return qpi.WithPool(name) }
 
+// WithShotWorkers asks the executing device to spread the job's
+// independent shots across n parallel workers (and, for open-system
+// simulations, lets the Auto integrator switch to Monte-Carlo trajectory
+// unraveling). Zero keeps the device's configured default; shot outcomes
+// never depend on worker scheduling or completion order.
+func WithShotWorkers(n int) ExecOption { return qpi.WithShotWorkers(n) }
+
 // WithDeadline bounds the execution; past it the job is cancelled.
 func WithDeadline(t time.Time) ExecOption { return qpi.WithDeadline(t) }
 

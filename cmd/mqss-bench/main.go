@@ -32,8 +32,8 @@ type benchEntry struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// benchReport is the -json report document: the sweep, evolve, fleet, and
-// telemetry experiments plus derived ratios.
+// benchReport is the -json report document: the sweep, evolve, fleet,
+// telemetry, and shot-parallel experiments plus derived ratios.
 type benchReport struct {
 	Points      int                `json:"points"`
 	Experiments []benchEntry       `json:"experiments"`
@@ -122,6 +122,41 @@ func telemetryEntry() (benchEntry, error) {
 	})
 }
 
+// shotsEntries benchmarks a 256-shot open-system job under the serial
+// density engine and under 4-worker Monte-Carlo trajectory unraveling (the
+// ISSUE 8 tentpole numbers), and derives both the speedup ratio and the
+// absolute shots/sec throughput of each path.
+func shotsEntries() ([]benchEntry, map[string]float64, error) {
+	ex, sp, err := experiments.ShotBenchRig()
+	if err != nil {
+		return nil, nil, err
+	}
+	const shots = 256
+	run := func(opts simq.ExecOptions) func() error {
+		opts.Shots = shots
+		return func() error {
+			_, err := ex.Run(sp, opts)
+			return err
+		}
+	}
+	serial, err := measure(fmt.Sprintf("shots_serial_density_%d", shots),
+		run(simq.ExecOptions{ForceDensity: true}))
+	if err != nil {
+		return nil, nil, err
+	}
+	parallel, err := measure(fmt.Sprintf("shots_parallel_trajectory_%d", shots),
+		run(simq.ExecOptions{ShotWorkers: 4, Integrator: simq.IntegratorTrajectory}))
+	if err != nil {
+		return nil, nil, err
+	}
+	perSec := func(e benchEntry) float64 { return shots * 1e9 / e.NsPerOp }
+	return []benchEntry{serial, parallel}, map[string]float64{
+		"serial_density_over_parallel_trajectory": serial.NsPerOp / parallel.NsPerOp,
+		"shots_per_sec_serial_density":            perSec(serial),
+		"shots_per_sec_parallel_trajectory":       perSec(parallel),
+	}, nil
+}
+
 // writeBenchJSON runs every -json experiment and writes the folded report
 // to path.
 func writeBenchJSON(path string) error {
@@ -137,6 +172,14 @@ func writeBenchJSON(path string) error {
 		}
 		entries = append(entries, e)
 	}
+	shotEntries, shotRatios, err := shotsEntries()
+	if err != nil {
+		return err
+	}
+	entries = append(entries, shotEntries...)
+	for k, v := range shotRatios {
+		speedups[k] = v
+	}
 	report := benchReport{Points: points, Experiments: entries, Speedups: speedups}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -150,6 +193,10 @@ func writeBenchJSON(path string) error {
 		fmt.Printf("  %-24s %12.4gms/op %8d allocs/op\n", e.Name, e.NsPerOp/1e6, e.AllocsPerOp)
 	}
 	fmt.Printf("  speedup recompile/bound: %.1f×\n", report.Speedups["recompile_over_bound"])
+	fmt.Printf("  speedup serial-density/parallel-trajectory: %.1f× (%.0f → %.0f shots/s)\n",
+		report.Speedups["serial_density_over_parallel_trajectory"],
+		report.Speedups["shots_per_sec_serial_density"],
+		report.Speedups["shots_per_sec_parallel_trajectory"])
 	return nil
 }
 
@@ -158,8 +205,8 @@ func main() {
 	exp := flag.String("exp", "", "run a single experiment by ID (e.g. EXP-F1)")
 	list := flag.Bool("list", false, "list experiment IDs")
 	jsonOut := flag.Bool("json", false,
-		"benchmark the sweep, evolve, fleet, and telemetry paths and write a machine-readable report")
-	out := flag.String("out", "BENCH_7.json", "output path for the -json report")
+		"benchmark the sweep, evolve, fleet, telemetry, and shot-parallel paths and write a machine-readable report")
+	out := flag.String("out", "BENCH_8.json", "output path for the -json report")
 	flag.Parse()
 
 	ids := []string{"EXP-F1", "EXP-F2", "EXP-F3", "EXP-L1", "EXP-L2", "EXP-L3",

@@ -376,6 +376,11 @@ type SubmitOptions struct {
 	// Shots is the number of measurement samples (qpi.DefaultShots when
 	// zero).
 	Shots int
+	// ShotWorkers, when positive, spreads the job's independent shots
+	// across that many device-side workers (zero keeps the device's
+	// configured default). Shot outcomes never depend on worker
+	// scheduling or completion order.
+	ShotWorkers int
 	// Priority orders scheduler dispatch: higher runs first.
 	Priority int
 	// Tag labels the ticket for tracing and per-tenant accounting.
@@ -472,7 +477,7 @@ func (c *Client) SubmitCtx(ctx context.Context, k *qpi.Circuit, device string, o
 		Shots: opts.Shots, Priority: opts.Priority, Tag: opts.Tag,
 		MeasLevel: opts.MeasLevel, MeasReturn: opts.MeasReturn,
 		CalibrationEpoch: epoch, CompiledFor: target,
-		Timeline: tl,
+		Timeline: tl, ShotWorkers: opts.ShotWorkers,
 	}
 	if opts.Pool != "" {
 		req.Device, req.Pool = "", opts.Pool
@@ -588,6 +593,7 @@ func (a *NativeAdapter) Name() string { return "qpi-native/" + a.Target }
 func (a *NativeAdapter) Submit(ctx context.Context, k *qpi.Circuit, cfg qpi.ExecConfig) (qpi.Handle, error) {
 	opts := SubmitOptions{
 		Shots:       cfg.Shots,
+		ShotWorkers: cfg.ShotWorkers,
 		Priority:    cfg.Priority,
 		Tag:         cfg.Tag,
 		Pool:        cfg.Pool,

@@ -47,6 +47,10 @@ type remoteRequest struct {
 	Shots    int    `json:"shots"`
 	Priority int    `json:"priority,omitempty"`
 	Tag      string `json:"tag,omitempty"`
+	// ShotWorkers asks the executing device to spread the job's shots
+	// across that many workers; 0 (legacy clients) keeps the device
+	// default.
+	ShotWorkers int `json:"shot_workers,omitempty"`
 	// TimeoutMs bounds the job server-side; 0 means no client deadline.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 	// MeasLevel/MeasReturn select the acquisition data shape
@@ -299,6 +303,7 @@ func (s *Server) handleSubmit(req *remoteRequest, templates map[string]*ptemplat
 	qreq.Device = device
 	qreq.Pool = req.Pool
 	qreq.Shots = req.Shots
+	qreq.ShotWorkers = req.ShotWorkers
 	qreq.Priority = req.Priority
 	qreq.Tag = req.Tag
 	qreq.MeasLevel = level
@@ -463,7 +468,7 @@ func (r *RemoteAdapter) SubmitPayloadCtx(ctx context.Context, device string, pay
 	req := remoteRequest{
 		Device: device, Pool: opts.Pool, Format: string(format), Payload: string(payload),
 		Shots: opts.Shots, Priority: opts.Priority, Tag: opts.Tag,
-		CalibrationEpoch: opts.CalibrationEpoch,
+		ShotWorkers: opts.ShotWorkers, CalibrationEpoch: opts.CalibrationEpoch,
 	}
 	if opts.MeasLevel != readout.LevelDiscriminated {
 		req.MeasLevel = opts.MeasLevel.String()
@@ -562,7 +567,7 @@ func (r *RemoteAdapter) SubmitBoundCtx(ctx context.Context, device string, compi
 		Op: "submit_bound", TemplateID: compiled.Fingerprint, Bindings: b,
 		Device: device, Pool: opts.Pool,
 		Shots: opts.Shots, Priority: opts.Priority, Tag: opts.Tag,
-		CalibrationEpoch: opts.CalibrationEpoch,
+		ShotWorkers: opts.ShotWorkers, CalibrationEpoch: opts.CalibrationEpoch,
 	}
 	if req.CalibrationEpoch == 0 {
 		// Default to the epoch the template was lowered against, so the

@@ -144,7 +144,7 @@ func (c *Client) SubmitSweepCtx(ctx context.Context, t *ptemplate.Template, devi
 			Shots: opts.Shots, Priority: opts.Priority, Tag: opts.Tag,
 			MeasLevel: opts.MeasLevel, MeasReturn: opts.MeasReturn,
 			CalibrationEpoch: compiled.Epoch, CompiledFor: target,
-			Timeline: tl,
+			Timeline: tl, ShotWorkers: opts.ShotWorkers,
 		}
 		if opts.Pool != "" {
 			req.Device, req.Pool = "", opts.Pool

@@ -99,6 +99,15 @@ type Config struct {
 	Seed int64
 	// MaxShots caps a single job.
 	MaxShots int
+	// ShotWorkers is the default number of parallel shot workers a job
+	// runs with when the submission does not set its own count
+	// (qdmi.JobOptions.ShotWorkers): 0 or 1 serializes, n > 1 spreads a
+	// job's independent shots across n goroutines and — for open-system
+	// simulations — switches the Auto integrator to Monte-Carlo
+	// trajectory unraveling, and a negative value uses runtime.NumCPU().
+	// Shot outcomes never depend on worker scheduling or completion
+	// order.
+	ShotWorkers int
 }
 
 // ouProcess is a discretized Ornstein-Uhlenbeck process:

@@ -422,6 +422,10 @@ func (d *SimDevice) runJob(job *qdmi.AsyncJob, mod *qir.Module, binding *qir.Dev
 		job.Fail(err)
 		return
 	}
+	workers := d.ShotWorkers()
+	if opts.ShotWorkers > 0 {
+		workers = opts.ShotWorkers
+	}
 	execOpts := simq.ExecOptions{
 		Shots: opts.Shots,
 		Seed:  seed,
@@ -430,6 +434,7 @@ func (d *SimDevice) runJob(job *qdmi.AsyncJob, mod *qir.Module, binding *qir.Dev
 			return p, p
 		},
 		Interrupted: job.Aborted,
+		ShotWorkers: workers,
 	}
 	if opts.MeasLevel != readout.LevelDiscriminated {
 		execOpts.Readout = d.readoutModel(opts)
@@ -445,12 +450,16 @@ func (d *SimDevice) runJob(job *qdmi.AsyncJob, mod *qir.Module, binding *qir.Dev
 	// Device-side telemetry: the executor reports how much of the run was
 	// readout sampling/post-processing, splitting the wall time into the
 	// device-execute and readout-post stages under the scheduler's dispatch
-	// span.
+	// span. Both spans measure wall-clock time, so a shot-parallel run's
+	// device-execute span reflects the parallel wall time, not the sum of
+	// per-worker busy time — worker utilization lands in the histograms
+	// below instead.
 	execEnd := time.Now()
 	opts.Telemetry.Record(telemetry.StageDeviceExecute, d.cfg.Name,
 		execStart, execEnd.Sub(execStart)-res.ReadoutWall, opts.TelemetryParent)
 	opts.Telemetry.Record(telemetry.StageReadoutPost, d.cfg.Name,
 		execEnd.Add(-res.ReadoutWall), res.ReadoutWall, opts.TelemetryParent)
+	d.recordShotMetrics(opts.Telemetry.Registry(), res, execEnd.Sub(execStart))
 	job.Finish(&qdmi.Result{
 		Counts:          res.Counts,
 		Shots:           res.Shots,
@@ -460,6 +469,27 @@ func (d *SimDevice) runJob(job *qdmi.AsyncJob, mod *qir.Module, binding *qir.Dev
 		IQ:              res.IQ,
 		Raw:             res.Raw,
 	})
+}
+
+// recordShotMetrics publishes per-job execution throughput into the
+// trace's metrics registry: total shots executed (fleet-wide and
+// per-device counters — shots-per-second over any window is the counter
+// delta over that window), the mean per-shot latency (its reciprocal is
+// this job's shots/sec), and one busy-time observation per shot worker
+// (each entry over the job's wall time is that worker's utilization).
+// Nil-safe: uninstrumented jobs skip out on the nil registry.
+func (d *SimDevice) recordShotMetrics(reg *telemetry.Registry, res *simq.ExecResult, wall time.Duration) {
+	if reg == nil || res.Shots <= 0 {
+		return
+	}
+	reg.Add("simq/shots", int64(res.Shots))
+	reg.Add("simq/shots/"+d.cfg.Name, int64(res.Shots))
+	if wall > 0 {
+		reg.Observe("simq/shot_latency/"+d.cfg.Name, wall/time.Duration(res.Shots))
+	}
+	for _, b := range res.WorkerBusy {
+		reg.Observe("simq/worker_busy/"+d.cfg.Name, b)
+	}
 }
 
 // BuildScheduleForPayload is an exported hook used by benchmarks and the

@@ -1,0 +1,109 @@
+package devices
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"mqsspulse/internal/qdmi"
+	"mqsspulse/internal/qir"
+	"mqsspulse/internal/telemetry"
+)
+
+// runOpts executes a module through SubmitJobOpts and returns the result.
+func runOpts(t *testing.T, d *SimDevice, m *qir.Module, opts qdmi.JobOptions) *qdmi.Result {
+	t.Helper()
+	job, err := d.SubmitJobOpts([]byte(m.Emit()), qdmi.FormatQIRBase, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := job.Wait(context.Background()); st != qdmi.JobDone {
+		t.Fatalf("job status %v", st)
+	}
+	res, err := job.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestShotWorkersResolution(t *testing.T) {
+	d := newSC(t)
+	if got := d.ShotWorkers(); got != 1 {
+		t.Fatalf("default ShotWorkers() = %d, want 1 (serial)", got)
+	}
+	d.cfg.ShotWorkers = 6
+	if got := d.ShotWorkers(); got != 6 {
+		t.Fatalf("configured ShotWorkers() = %d, want 6", got)
+	}
+	d.cfg.ShotWorkers = -1
+	if got := d.ShotWorkers(); got != runtime.NumCPU() {
+		t.Fatalf("negative ShotWorkers() = %d, want NumCPU = %d", got, runtime.NumCPU())
+	}
+}
+
+func TestShotWorkersDeviceProperty(t *testing.T) {
+	d := newSC(t)
+	d.cfg.ShotWorkers = 3
+	v, err := d.QueryDeviceProperty(qdmi.DevicePropShotWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := v.(int); !ok || n != 3 {
+		t.Fatalf("DevicePropShotWorkers = %v, want 3", v)
+	}
+}
+
+func TestShotTelemetryCounters(t *testing.T) {
+	// A traced job must publish its shot count into the registry the
+	// timeline feeds: the fleet-wide counter, the per-device counter, the
+	// per-shot latency histogram, and one busy-time observation per
+	// worker.
+	d := newSC(t)
+	reg := telemetry.NewRegistry()
+	tl := telemetry.NewTimeline("", reg)
+	m := gateModule("xcount", 1, 1, []qir.Call{g1(qir.IntrX, 0), mz(0, 0)})
+	const shots = 500
+	res := runOpts(t, d, m, qdmi.JobOptions{Shots: shots, Telemetry: tl, ShotWorkers: 2})
+	if res.Shots != shots {
+		t.Fatalf("res.Shots = %d", res.Shots)
+	}
+	if got := reg.Counter("simq/shots").Load(); got != shots {
+		t.Fatalf("simq/shots counter = %d, want %d", got, shots)
+	}
+	if got := reg.Counter("simq/shots/" + d.cfg.Name).Load(); got != shots {
+		t.Fatalf("per-device shot counter = %d, want %d", got, shots)
+	}
+	if n := reg.Hist("simq/shot_latency/" + d.cfg.Name).Snapshot().Count; n != 1 {
+		t.Fatalf("shot-latency histogram has %d observations, want 1", n)
+	}
+	if n := reg.Hist("simq/worker_busy/" + d.cfg.Name).Snapshot().Count; n != 2 {
+		t.Fatalf("worker-busy histogram has %d observations, want one per worker (2)", n)
+	}
+}
+
+func TestShotWorkersJobOverrideMatchesDeviceConfig(t *testing.T) {
+	// The per-job ShotWorkers override and the device-level default must
+	// resolve to the same execution: a job overriding to 4 workers on a
+	// serial-default device is bitwise identical to the same job on a
+	// device configured with 4 workers. (Serial vs parallel runs of an
+	// open-system device are only statistically equivalent — the Auto
+	// integrator switches engines — so the plumbing pin compares equal
+	// resolved worker counts.)
+	m := gateModule("hsw", 1, 1, []qir.Call{g1(qir.IntrH, 0), mz(0, 0)})
+	mk := func(workers int) *SimDevice {
+		d, err := Superconducting("sc-sw", 1, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.cfg.ShotWorkers = workers
+		return d
+	}
+	viaConfig := runOpts(t, mk(4), m, qdmi.JobOptions{Shots: 2000})
+	viaOverride := runOpts(t, mk(1), m, qdmi.JobOptions{Shots: 2000, ShotWorkers: 4})
+	if !reflect.DeepEqual(viaConfig.Counts, viaOverride.Counts) {
+		t.Fatalf("counts differ between device-config and job-override worker selection:\n%v\n%v",
+			viaConfig.Counts, viaOverride.Counts)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -314,8 +315,24 @@ func (d *SimDevice) QueryDeviceProperty(p qdmi.DeviceProperty) (any, error) {
 		return d.cfg.MaxSamples, nil
 	case qdmi.DevicePropCalibrationEpoch:
 		return d.CalibrationEpoch(), nil
+	case qdmi.DevicePropShotWorkers:
+		return d.ShotWorkers(), nil
 	default:
 		return nil, qdmi.ErrNotSupported
+	}
+}
+
+// ShotWorkers returns the device's effective default shot-worker count:
+// the configured value, runtime.NumCPU() when the config is negative, or
+// 1 (serial) when unset.
+func (d *SimDevice) ShotWorkers() int {
+	switch {
+	case d.cfg.ShotWorkers < 0:
+		return runtime.NumCPU()
+	case d.cfg.ShotWorkers == 0:
+		return 1
+	default:
+		return d.cfg.ShotWorkers
 	}
 }
 

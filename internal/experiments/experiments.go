@@ -777,6 +777,71 @@ func EvolveBenchRig(env waveform.Envelope, samples int, collapses []simq.Collaps
 	return simq.NewExecutor(model), sp, nil
 }
 
+// ShotBenchRig builds the shot-throughput bench workload: the same
+// 2-transmon (d=3) open system as EvolveBenchRig (anharmonic drift, two
+// drives, ZZ coupler, T1/T2 collapses on both sites) driven by square
+// pulses — constant-χ stretches, the engines' cached-propagator paths —
+// followed by an idle gap and one capture per site. It is the single
+// source of the shot-parallel bench job, shared by BenchmarkShotsSerial /
+// BenchmarkShotsParallel and the mqss-bench shots_* report entries, so the
+// before (serial density) and after (parallel trajectory) numbers always
+// measure the same job.
+func ShotBenchRig() (*simq.Executor, *pulse.ScheduledProgram, error) {
+	dims := []int{3, 3}
+	drift := simq.TransmonDrift(dims, 0, 0, -220e6).Add(simq.TransmonDrift(dims, 1, 0, -210e6))
+	collapses := append(simq.RelaxationCollapses(dims, 0, 25e-6, 18e-6),
+		simq.RelaxationCollapses(dims, 1, 30e-6, 21e-6)...)
+	model, err := simq.NewSystemModel(dims, drift, []*simq.ControlChannel{
+		simq.TransmonDriveChannel("d0", dims, 0, 40e6, 5.0e9),
+		simq.TransmonDriveChannel("d1", dims, 1, 40e6, 5.1e9),
+		simq.ZZCouplerChannel("c01", dims, 0, 2e6),
+	}, collapses)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := pulse.NewSchedule()
+	for _, p := range []*pulse.Port{
+		{ID: "d0", Kind: pulse.PortDrive, Sites: []int{0}, SampleRateHz: 1e9, MaxAmplitude: 1},
+		{ID: "d1", Kind: pulse.PortDrive, Sites: []int{1}, SampleRateHz: 1e9, MaxAmplitude: 1},
+		{ID: "c01", Kind: pulse.PortCoupler, Sites: []int{0, 1}, SampleRateHz: 1e9, MaxAmplitude: 1},
+	} {
+		if err := s.AddPort(p); err != nil {
+			return nil, nil, err
+		}
+	}
+	for id, hz := range map[string]float64{"f0": 5.0e9, "f1": 5.1e9, "fc": 0} {
+		if err := s.AddFrame(pulse.NewFrame(id, hz)); err != nil {
+			return nil, nil, err
+		}
+	}
+	w, err := waveform.Constant{Amplitude: 0.5}.Materialize("w", 256)
+	if err != nil {
+		return nil, nil, err
+	}
+	for port, frame := range map[string]string{"d0": "f0", "d1": "f1", "c01": "fc"} {
+		if err := s.Append(&pulse.Play{Port: port, Frame: frame, Waveform: w}); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := s.Append(&pulse.Barrier{}); err != nil {
+		return nil, nil, err
+	}
+	if err := s.Append(&pulse.Delay{Port: "d0", Samples: 256}); err != nil {
+		return nil, nil, err
+	}
+	for bit, port := range []string{"d0", "d1"} {
+		frame := []string{"f0", "f1"}[bit]
+		if err := s.Append(&pulse.Capture{Port: port, Frame: frame, Bit: bit, DurationSamples: 128}); err != nil {
+			return nil, nil, err
+		}
+	}
+	sp, err := s.Resolve()
+	if err != nil {
+		return nil, nil, err
+	}
+	return simq.NewExecutor(model), sp, nil
+}
+
 // P1PulseIntegration measures the executor's driven-evolution hot path on
 // the 2-transmon (d=3) bench system: exact per-sample eigendecomposition
 // vs the matrix-free fast path, for a varying (Gaussian) and a constant

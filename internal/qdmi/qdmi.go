@@ -63,6 +63,12 @@ const (
 	// on it and schedulers verify it at dispatch; devices predating the
 	// property answer ErrNotSupported and opt out of staleness checking.
 	DevicePropCalibrationEpoch // int64
+	// DevicePropShotWorkers is the device's default per-job shot-worker
+	// count (int): how many cores the runtime spreads one job's
+	// independent shots (and, for open-system simulations, Monte-Carlo
+	// trajectories) across when the submission does not request its own
+	// count via JobOptions.ShotWorkers.
+	DevicePropShotWorkers // int
 )
 
 // SiteProperty enumerates per-site queries (a site is a physical or logical
@@ -220,6 +226,11 @@ type JobOptions struct {
 	// TelemetryParent is the span the device-side spans nest under
 	// (the scheduler's dispatch span); zero attaches them at top level.
 	TelemetryParent telemetry.SpanID
+	// ShotWorkers, when positive, overrides the device's default worker
+	// count (DevicePropShotWorkers) for this job's per-shot execution
+	// phase. Shot outcomes never depend on worker scheduling or
+	// completion order.
+	ShotWorkers int
 }
 
 // AcquisitionSubmitter is an optional Device capability: devices whose

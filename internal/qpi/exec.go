@@ -64,6 +64,11 @@ type ExecConfig struct {
 	// Shots is the number of measurement samples (DefaultShots if no
 	// option is given).
 	Shots int
+	// ShotWorkers, when positive, spreads the job's independent shots
+	// across that many device-side workers; zero keeps the executing
+	// device's configured default. Shot outcomes never depend on worker
+	// scheduling or completion order.
+	ShotWorkers int
 	// Priority orders scheduler dispatch: higher runs first.
 	Priority int
 	// Tag is an optional caller label carried through the scheduler
@@ -96,6 +101,13 @@ type ExecOption func(*ExecConfig)
 
 // WithShots sets the number of measurement shots.
 func WithShots(n int) ExecOption { return func(c *ExecConfig) { c.Shots = n } }
+
+// WithShotWorkers asks the executing device to spread the job's
+// independent shots across n parallel workers (and, for open-system
+// simulations, lets the Auto integrator switch to Monte-Carlo trajectory
+// unraveling). Zero keeps the device's configured default; shot outcomes
+// never depend on worker scheduling or completion order.
+func WithShotWorkers(n int) ExecOption { return func(c *ExecConfig) { c.ShotWorkers = n } }
 
 // WithPriority sets the scheduler priority (higher dispatches first).
 func WithPriority(p int) ExecOption { return func(c *ExecConfig) { c.Priority = p } }

@@ -109,6 +109,10 @@ type Request struct {
 	// stages. Nil submissions run untraced (per-device queue-wait
 	// histograms still accumulate when SetTelemetry installed a registry).
 	Timeline *telemetry.Timeline
+	// ShotWorkers, when positive, asks the executing device to spread the
+	// job's per-shot work across that many workers (see
+	// qdmi.JobOptions.ShotWorkers); zero defers to the device default.
+	ShotWorkers int
 }
 
 // queued pairs a ticket with its request and enqueue time (the queue-wait
@@ -523,7 +527,7 @@ func submitToDevice(dev qdmi.Device, req Request, parent telemetry.SpanID) (qdmi
 		req.Timeline.Record(telemetry.StageBind, dev.Name(), bindStart, time.Since(bindStart), parent)
 		opts := qdmi.JobOptions{
 			Shots: req.Shots, MeasLevel: req.MeasLevel, MeasReturn: req.MeasReturn,
-			Telemetry: req.Timeline, TelemetryParent: parent,
+			Telemetry: req.Timeline, TelemetryParent: parent, ShotWorkers: req.ShotWorkers,
 		}
 		if ms, ok := dev.(qdmi.ModuleSubmitter); ok {
 			return ms.SubmitModule(mod, opts)
@@ -534,7 +538,7 @@ func submitToDevice(dev qdmi.Device, req Request, parent telemetry.SpanID) (qdmi
 	if as, ok := dev.(qdmi.AcquisitionSubmitter); ok {
 		return as.SubmitJobOpts(req.Payload, req.Format, qdmi.JobOptions{
 			Shots: req.Shots, MeasLevel: req.MeasLevel, MeasReturn: req.MeasReturn,
-			Telemetry: req.Timeline, TelemetryParent: parent,
+			Telemetry: req.Timeline, TelemetryParent: parent, ShotWorkers: req.ShotWorkers,
 		})
 	}
 	if req.MeasLevel != readout.LevelDiscriminated {

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
-	"math/rand"
 	"sort"
 	"time"
 
@@ -48,11 +47,23 @@ type ExecOptions struct {
 	// every interruptPollTicks (1024) driven samples inside them, so even a
 	// single very long Play cancels promptly; once it reports true the run
 	// aborts with ErrInterrupted. Devices wire it to their job-cancellation
-	// state.
+	// state. Shot workers additionally poll it between shots (and inside
+	// each trajectory integration at the same 1024-tick bound), so a
+	// cancelled batch drains without emitting further shot results.
 	Interrupted func() bool
 	// Integrator selects the driven-sample time-evolution algorithm; the
 	// zero value IntegratorAuto is the fast path.
 	Integrator Integrator
+	// ShotWorkers is the number of goroutines the per-shot phase (readout
+	// sampling, IQ synthesis, and — for open systems — Monte-Carlo
+	// trajectory integration) is spread across. 0 or 1 runs serially.
+	// For a fixed integrator selection, results are byte-identical for
+	// any worker count: every shot's outcome is a pure function of (Seed,
+	// shot index) and aggregation is performed in shot order. (Under
+	// IntegratorAuto an open-system job switches from the density engine
+	// to trajectories once ShotWorkers > 1 — statistically, not bitwise,
+	// equivalent.)
+	ShotWorkers int
 }
 
 // Integrator selects the time-evolution algorithm used for driven sample
@@ -69,6 +80,15 @@ const (
 	// (linalg.ExpI) for every driven tick — orders of magnitude slower.
 	// It exists for property tests and before/after benchmarks.
 	IntegratorExact
+	// IntegratorTrajectory unravels open-system dynamics as Monte-Carlo
+	// quantum trajectories: each shot evolves a pure state under the
+	// effective non-Hermitian Hamiltonian H − (i/2)·Σγ·L†L and applies
+	// stochastic collapse jumps at norm-threshold crossings, at O(d) state
+	// cost per shot instead of the density engine's O(d²). Statistically
+	// equivalent to the density reference (pinned by the convergence
+	// tests); requires collapse operators and captures, otherwise the run
+	// falls back to the closed-system state engine or the density engine.
+	IntegratorTrajectory
 )
 
 // ExecResult is the outcome of executing a scheduled pulse program.
@@ -96,13 +116,23 @@ type ExecResult struct {
 	Raw [][][]complex128
 	// FinalState is set when the state-vector engine ran.
 	FinalState *State
-	// FinalDensity is set when the density-matrix engine ran.
+	// FinalDensity is set when the density-matrix engine ran. Trajectory
+	// runs set neither FinalState nor FinalDensity: there is no single
+	// final state, only the per-shot ensemble the counts were drawn from.
 	FinalDensity *Density
 	// ReadoutWall is the wall-clock time spent sampling and post-processing
 	// measurement outcomes (bit sampling, readout error, IQ synthesis) after
 	// the state evolution finished — the telemetry split between the
-	// device-execute and readout-post stages. Zero for capture-free runs.
+	// device-execute and readout-post stages. Zero for capture-free runs and
+	// for trajectory runs, whose integration and readout are fused into one
+	// per-shot pipeline (the whole wall time is device execution).
 	ReadoutWall time.Duration
+	// Workers is the number of shot workers the run actually used.
+	Workers int
+	// WorkerBusy holds each worker's busy wall time over the per-shot
+	// phase; the ratio of each entry to the largest is that worker's
+	// utilization (telemetry feeds these into per-device histograms).
+	WorkerBusy []time.Duration
 }
 
 // Executor integrates scheduled pulse programs against a SystemModel. It is
@@ -145,7 +175,6 @@ func (e *Executor) Run(sp *pulse.ScheduledProgram, opts ExecOptions) (*ExecResul
 	if seed == 0 {
 		seed = 0x6d717373 // "mqss"
 	}
-	rng := rand.New(rand.NewSource(seed))
 
 	// Latch frame states as instructions execute, in time order.
 	frames := map[string]*pulse.Frame{}
@@ -209,22 +238,33 @@ func (e *Executor) Run(sp *pulse.ScheduledProgram, opts ExecOptions) (*ExecResul
 	}
 
 	makespan := sp.TotalDuration()
-	useDensity := opts.ForceDensity || len(e.Model.Collapses) > 0
+	sort.Slice(captures, func(i, j int) bool { return captures[i].bit < captures[j].bit })
+
+	workers := opts.ShotWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > opts.Shots {
+		workers = opts.Shots
+	}
+	useTraj := e.useTrajectory(opts, len(captures), workers)
+	useDensity := !useTraj && (opts.ForceDensity || len(e.Model.Collapses) > 0)
 
 	var st *State
 	var rho *Density
-	if useDensity {
-		rho = NewDensity(e.Model.Dims)
-	} else {
-		st = NewState(e.Model.Dims)
+	if !useTraj {
+		// Deterministic (shot-independent) evolution: integrate once, then
+		// every shot samples the same final state.
+		if useDensity {
+			rho = NewDensity(e.Model.Dims)
+		} else {
+			st = NewState(e.Model.Dims)
+		}
+		if err := e.evolve(st, rho, plays, makespan, dt, opts); err != nil {
+			return nil, err
+		}
 	}
 
-	if err := e.evolve(st, rho, plays, makespan, dt, opts); err != nil {
-		return nil, err
-	}
-
-	// Sample measurement outcomes from the final state.
-	sort.Slice(captures, func(i, j int) bool { return captures[i].bit < captures[j].bit })
 	res := &ExecResult{
 		Counts:          map[uint64]int{},
 		Shots:           opts.Shots,
@@ -232,6 +272,7 @@ func (e *Executor) Run(sp *pulse.ScheduledProgram, opts ExecOptions) (*ExecResul
 		DurationSeconds: float64(makespan) * dt,
 		FinalState:      st,
 		FinalDensity:    rho,
+		Workers:         workers,
 	}
 	if len(captures) == 0 {
 		// Still stamp the requested level so callers (and the remote wire)
@@ -241,136 +282,44 @@ func (e *Executor) Run(sp *pulse.ScheduledProgram, opts ExecOptions) (*ExecResul
 		}
 		return res, nil
 	}
+
 	roStart := time.Now()
-	defer func() { res.ReadoutWall = time.Since(roStart) }()
-	sites := make([]int, len(captures))
-	for i, c := range captures {
-		sites[i] = c.site
+	runner := e.newShotRunner(st, rho, plays, captures, makespan, dt, seed, workers, opts, useTraj)
+	for _, c := range captures {
 		res.MeasuredBits = append(res.MeasuredBits, c.bit)
 	}
-	var raw []uint64
-	if useDensity {
-		raw = rho.SampleBits(rng, sites, opts.Shots)
-	} else {
-		raw = st.SampleBits(rng, sites, opts.Shots)
+	if err := runner.sampleAll(res); err != nil {
+		return nil, err
 	}
-	model := opts.Readout
-	if model != nil && model.Level != readout.LevelDiscriminated {
-		if err := e.sampleIQ(res, raw, captures, model, dt, rng, opts.Interrupted); err != nil {
-			return nil, err
-		}
-		return res, nil
-	}
-	siteErr := opts.SiteError
-	if siteErr == nil {
-		siteErr = func(int) (float64, float64) { return opts.ReadoutP01, opts.ReadoutP10 }
-	}
-	for _, r := range raw {
-		var mask uint64
-		for i, c := range captures {
-			bit := (r >> uint(i)) & 1
-			// Apply readout error.
-			p01, p10 := siteErr(c.site)
-			if bit == 0 && p01 > 0 && rng.Float64() < p01 {
-				bit = 1
-			} else if bit == 1 && p10 > 0 && rng.Float64() < p10 {
-				bit = 0
-			}
-			mask |= bit << uint(c.bit)
-		}
-		res.Counts[mask]++
+	if !useTraj {
+		// Trajectory runs fuse integration and readout into one per-shot
+		// pipeline, so the whole wall time counts as device execution.
+		res.ReadoutWall = time.Since(roStart)
 	}
 	return res, nil
 }
 
-// sampleIQ synthesizes IQ-level measurement records for every shot and
-// capture, derives discriminated counts from them, and applies the
-// requested return mode (per-shot or shot-averaged records). Raw-level
-// synthesis over many shots is itself expensive, so interrupted is polled
-// per shot like the integration loop.
-func (e *Executor) sampleIQ(res *ExecResult, raw []uint64, captures []captureEvent,
-	model *ReadoutModel, dt float64, rng *rand.Rand, interrupted func() bool) error {
-
-	wantRaw := model.Level == readout.LevelRaw
-	averaging := model.Return == readout.ReturnAverage
-	res.MeasLevel = model.Level
-
-	// Under ReturnAverage only running sums are kept — per-shot records
-	// would cost O(shots·captures·samples) memory just to be collapsed.
-	var sumPoints []readout.IQ
-	var sumTraces [][]complex128
-	if averaging {
-		sumPoints = make([]readout.IQ, len(captures))
-		if wantRaw {
-			sumTraces = make([][]complex128, len(captures))
-			for i, c := range captures {
-				sumTraces[i] = make([]complex128, c.samples)
-			}
-		}
-	} else {
-		res.IQ = make([][]readout.IQ, len(raw))
-		if wantRaw {
-			res.Raw = make([][][]complex128, len(raw))
-		}
+// useTrajectory decides whether a run unravels as Monte-Carlo
+// trajectories. Trajectories need collapse operators (a closed system's
+// trajectory IS the state-vector fast path) and captures (a capture-free
+// job's deliverable is the final state, which one trajectory cannot
+// represent — the density engine stays the faithful answer). ForceDensity
+// always wins: it is the reference override the statistical tests pin
+// against. Under IntegratorAuto trajectories switch on once the caller
+// asks for parallelism (ShotWorkers > 1) — a serial open-system job keeps
+// the bit-stable density path, so existing callers see no change.
+func (e *Executor) useTrajectory(opts ExecOptions, captures, workers int) bool {
+	if len(e.Model.Collapses) == 0 || opts.ForceDensity || captures == 0 {
+		return false
 	}
-	for k, r := range raw {
-		if interrupted != nil && k%64 == 0 && interrupted() {
-			return ErrInterrupted
-		}
-		var points []readout.IQ
-		var traces [][]complex128
-		if !averaging {
-			points = make([]readout.IQ, len(captures))
-			if wantRaw {
-				traces = make([][]complex128, len(captures))
-			}
-		}
-		var mask uint64
-		for i, c := range captures {
-			trueBit := (r >> uint(i)) & 1
-			rec := model.synthesizeShot(rng, c.site, trueBit, c.samples, float64(c.samples)*dt, wantRaw)
-			if averaging {
-				sumPoints[i].I += rec.point.I
-				sumPoints[i].Q += rec.point.Q
-				if wantRaw {
-					for j, v := range rec.trace {
-						sumTraces[i][j] += v
-					}
-				}
-			} else {
-				points[i] = rec.point
-				if wantRaw {
-					traces[i] = rec.trace
-				}
-			}
-			mask |= rec.bit << uint(c.bit)
-		}
-		if !averaging {
-			res.IQ[k] = points
-			if wantRaw {
-				res.Raw[k] = traces
-			}
-		}
-		res.Counts[mask]++
+	switch opts.Integrator {
+	case IntegratorTrajectory:
+		return true
+	case IntegratorAuto:
+		return workers > 1
+	default:
+		return false
 	}
-	if averaging {
-		n := float64(len(raw))
-		for i := range sumPoints {
-			sumPoints[i].I /= n
-			sumPoints[i].Q /= n
-		}
-		res.IQ = [][]readout.IQ{sumPoints}
-		if wantRaw {
-			inv := complex(1/n, 0)
-			for i := range sumTraces {
-				for j := range sumTraces[i] {
-					sumTraces[i][j] *= inv
-				}
-			}
-			res.Raw = [][][]complex128{sumTraces}
-		}
-	}
-	return nil
 }
 
 // sampleDt returns the common sample period; mixed sample rates across
@@ -664,6 +613,7 @@ type fastEngine struct {
 	spOps     map[string]*linalg.Sparse // channel port → sparse raising op
 	chis      []complex128
 	scratch   []complex128
+	keyBuf    []byte     // per-engine propagator-cache key scratch
 	lam       float64    // spectral shift λ (rad/s)
 	tickPhase complex128 // e^{-iλ·dt}, applied per state-vector tick
 }
@@ -726,8 +676,8 @@ func (eng *fastEngine) loadHam(active []playEvent, chis []complex128) {
 // first. The dense assembly on a miss uses the true (unshifted) drift, so
 // cached stretch propagators are exact. h is caller scratch.
 func (e *Executor) stretchPropagator(eng *fastEngine, active []playEvent, chis []complex128, ticks int64, dt float64, h *linalg.Matrix) (*linalg.Matrix, error) {
-	key := eng.cache.key(active, chis, ticks)
-	if u, ok := eng.cache.get(key); ok {
+	eng.keyBuf = propKey(eng.keyBuf, propUnitary, active, chis, ticks)
+	if u, ok := eng.cache.get(eng.keyBuf); ok {
 		return u, nil
 	}
 	copy(h.Data, e.Model.Drift.Data)
@@ -738,7 +688,7 @@ func (e *Executor) stretchPropagator(eng *fastEngine, active []playEvent, chis [
 	if err != nil {
 		return nil, err
 	}
-	eng.cache.put(key, u)
+	eng.cache.put(eng.keyBuf, u)
 	return u, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"mqsspulse/internal/linalg"
 )
@@ -58,14 +59,23 @@ type driveCoeff struct {
 }
 
 // tickHam is the implicit (never densified) Hamiltonian of one sample
-// tick: the constant drift plus the active drive terms. It is rebuilt by
-// reslicing — appending to ops reuses the backing array, so steady-state
-// operation allocates nothing.
+// tick: the constant drift plus the active drive terms, plus — for the
+// trajectory engine — the anti-Hermitian no-jump decay term. It is
+// rebuilt by reslicing — appending to ops reuses the backing array, so
+// steady-state operation allocates nothing.
 type tickHam struct {
 	dim       int
 	drift     *linalg.Sparse // nil when the drift is zero
 	driftNorm float64
 	ops       []driveCoeff
+	// decay, when non-nil, turns the Hamiltonian into the trajectory
+	// engine's effective generator H_eff = H − (i/2)·decay, where decay is
+	// the rate-weighted sum Σ γ_k·L_k†L_k of the collapse channels. decay
+	// is positive semidefinite, so exp(-i·H_eff·t) is a contraction and
+	// the state norm decreases monotonically — the property the
+	// norm-threshold jump search relies on.
+	decay     *linalg.Sparse
+	decayNorm float64
 }
 
 func (h *tickHam) reset() { h.ops = h.ops[:0] }
@@ -80,6 +90,9 @@ func (h *tickHam) normBound() float64 {
 	n := h.driftNorm
 	for _, d := range h.ops {
 		n += 2 * cmplx.Abs(d.w) * d.op.NormBound()
+	}
+	if h.decay != nil {
+		n += 0.5 * h.decayNorm
 	}
 	return n
 }
@@ -96,6 +109,9 @@ func (h *tickHam) applyVec(dst, src []complex128) {
 		d.op.MulVecAccum(dst, src, d.w)
 		d.op.DaggerMulVecAccum(dst, src, cmplx.Conj(d.w))
 	}
+	if h.decay != nil {
+		h.decay.MulVecAccum(dst, src, complex(0, -0.5))
+	}
 }
 
 // applyLeft computes dst = H·src for dense src.
@@ -109,6 +125,9 @@ func (h *tickHam) applyLeft(dst, src *linalg.Matrix) {
 	for _, d := range h.ops {
 		d.op.MulMatAccum(dst, src, d.w)
 		d.op.DaggerMulMatAccum(dst, src, cmplx.Conj(d.w))
+	}
+	if h.decay != nil {
+		h.decay.MulMatAccum(dst, src, complex(0, -0.5))
 	}
 }
 
@@ -237,22 +256,21 @@ func setIdentity(m *linalg.Matrix) {
 	}
 }
 
-// propCache memoizes exact propagators for constant-envelope stretches:
-// the key encodes the active (port, χ) pairs and the stretch duration, so
-// square pulses, flat-tops, and repeated calibrated envelopes
-// exponentiate once per distinct shape and reuse the dense unitary
-// afterwards.
-type propCache struct {
-	m      map[string]*linalg.Matrix
-	keyBuf []byte
-}
+// Key flavors for the propagator cache: unitary stretch propagators (the
+// closed-system fast path) and effective no-jump propagators (trajectory
+// engine, non-unitary) live in the same cache but must never collide.
+const (
+	propUnitary   byte = 0
+	propEffective byte = 1
+)
 
-func newPropCache() *propCache { return &propCache{m: map[string]*linalg.Matrix{}} }
-
-// key builds the lookup key for a stretch: the number of ticks plus, per
-// active play in order, the channel port and the latched χ value.
-func (c *propCache) key(active []playEvent, chis []complex128, ticks int64) string {
-	b := c.keyBuf[:0]
+// propKey appends the lookup key for a constant-χ stretch to buf[:0] and
+// returns the filled buffer: a flavor byte, the number of ticks, then per
+// active play (in order) the channel port and the latched χ value. It is
+// a free function — every caller owns its scratch buffer, so concurrent
+// shot workers never share key-building state.
+func propKey(buf []byte, flavor byte, active []playEvent, chis []complex128, ticks int64) []byte {
+	b := append(buf[:0], flavor)
 	b = binary.LittleEndian.AppendUint64(b, uint64(ticks))
 	for i, p := range active {
 		b = append(b, p.ch.PortID...)
@@ -260,18 +278,55 @@ func (c *propCache) key(active []playEvent, chis []complex128, ticks int64) stri
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(real(chis[i])))
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(imag(chis[i])))
 	}
-	c.keyBuf = b
-	return string(b)
+	return b
 }
 
-func (c *propCache) get(k string) (*linalg.Matrix, bool) {
-	u, ok := c.m[k]
+// propCache memoizes exact propagators for constant-envelope stretches:
+// the key encodes the active (port, χ) pairs and the stretch duration, so
+// square pulses, flat-tops, and repeated calibrated envelopes
+// exponentiate once per distinct shape and reuse the dense unitary
+// afterwards. One cache is shared by all shot workers of a run, so access
+// is guarded: lookups take a read lock (the hot case — a warmed cache
+// serves concurrent readers without contention), inserts a write lock.
+// Cached matrices are immutable after insertion. Builds are deterministic
+// functions of the key, so two workers racing to insert the same key
+// produce bit-identical matrices and results never depend on which win.
+type propCache struct {
+	mu sync.RWMutex
+	m  map[string]*linalg.Matrix
+}
+
+func newPropCache() *propCache { return &propCache{m: map[string]*linalg.Matrix{}} }
+
+// get looks up k without allocating (the map index converts the byte
+// slice in place).
+func (c *propCache) get(k []byte) (*linalg.Matrix, bool) {
+	c.mu.RLock()
+	u, ok := c.m[string(k)]
+	c.mu.RUnlock()
 	return u, ok
 }
 
-func (c *propCache) put(k string, u *linalg.Matrix) {
-	if len(c.m) >= propCacheLimit {
-		return
+// put inserts u under k. At capacity an arbitrary existing entry is
+// evicted first, so long-running jobs with many distinct stretches keep a
+// bounded footprint while still caching their current working set.
+func (c *propCache) put(k []byte, u *linalg.Matrix) {
+	c.mu.Lock()
+	if _, ok := c.m[string(k)]; !ok {
+		if len(c.m) >= propCacheLimit {
+			for victim := range c.m {
+				delete(c.m, victim)
+				break
+			}
+		}
+		c.m[string(k)] = u
 	}
-	c.m[k] = u
+	c.mu.Unlock()
+}
+
+// size reports the current entry count (test hook).
+func (c *propCache) size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
 }

@@ -173,39 +173,57 @@ func sampleBits(rng *rand.Rand, probs []float64, dims []int, sites []int, shots 
 	if len(sites) > 64 {
 		panic("simq: more than 64 measured sites")
 	}
-	// Build cumulative distribution once.
 	cum := make([]float64, len(probs))
+	total := buildCum(cum, probs)
+	out := make([]uint64, shots)
+	for k := 0; k < shots; k++ {
+		out[k] = siteMask(dims, sites, drawIndex(rng, cum, total))
+	}
+	return out
+}
+
+// buildCum fills cum with the running sum of probs (negative entries —
+// numerical noise from Lindblad integration — clamp to zero) and returns
+// the total mass.
+func buildCum(cum, probs []float64) float64 {
 	acc := 0.0
 	for i, p := range probs {
 		if p < 0 {
-			p = 0 // numerical noise from Lindblad integration
+			p = 0
 		}
 		acc += p
 		cum[i] = acc
 	}
-	total := acc
-	out := make([]uint64, shots)
-	for k := 0; k < shots; k++ {
-		r := rng.Float64() * total
-		// Binary search in the cumulative distribution.
-		lo, hi := 0, len(cum)-1
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if cum[mid] < r {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
+	return acc
+}
+
+// drawIndex draws one basis index from a cumulative distribution with a
+// single uniform variate and a binary search.
+func drawIndex(rng *rand.Rand, cum []float64, total float64) int {
+	r := rng.Float64() * total
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
-		var bits uint64
-		for bi, site := range sites {
-			if SiteLevel(dims, lo, site) >= 1 {
-				bits |= 1 << uint(bi)
-			}
-		}
-		out[k] = bits
 	}
-	return out
+	return lo
+}
+
+// siteMask assembles the measured bitmask of one basis index: bit i set
+// means sites[i] occupies level ≥ 1 (leakage discriminates as 1, matching
+// typical dispersive readout behaviour).
+func siteMask(dims, sites []int, idx int) uint64 {
+	var bits uint64
+	for bi, site := range sites {
+		if SiteLevel(dims, idx, site) >= 1 {
+			bits |= 1 << uint(bi)
+		}
+	}
+	return bits
 }
 
 // Fidelity returns |⟨a|b⟩|² for two pure states.

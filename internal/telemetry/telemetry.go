@@ -151,6 +151,19 @@ func (t *Timeline) AttachRegistry(reg *Registry) {
 	t.mu.Unlock()
 }
 
+// Registry returns the metrics registry the timeline feeds, if any; nil
+// on a nil or unattached timeline. Devices use it to publish execution
+// metrics (shots-per-second counters, worker utilization) next to the
+// stage spans of the same job.
+func (t *Timeline) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reg
+}
+
 // Record appends a completed span and returns its ID (for use as a later
 // span's parent). Negative durations are clamped to zero. On a nil
 // timeline it records nothing and returns zero.
