@@ -231,15 +231,15 @@ func NewReadoutMitigator(bits []int, mats []ReadoutConfusion) (*ReadoutMitigator
 // ReadoutCalibrate trains a discriminator from prep-0/prep-1 experiments
 // and writes the measured assignment fidelity back into the device's
 // calibration table.
-func ReadoutCalibrate(dev *SimDevice, site, shots int) (*ReadoutCalibResult, error) {
-	return calib.ReadoutCalibrate(dev, site, shots)
+func ReadoutCalibrate(ctx context.Context, dev *SimDevice, site, shots int) (*ReadoutCalibResult, error) {
+	return calib.ReadoutCalibrate(ctx, dev, site, shots)
 }
 
 // MeasureReadoutMitigator measures per-site assignment matrices through
 // prep experiments and builds the mitigator for kernels measuring
 // sites[i] into classical bit i.
-func MeasureReadoutMitigator(dev Device, sites []int, shots int) (*ReadoutMitigator, error) {
-	return calib.ReadoutMitigator(dev, sites, shots)
+func MeasureReadoutMitigator(ctx context.Context, dev Device, sites []int, shots int) (*ReadoutMitigator, error) {
+	return calib.ReadoutMitigator(ctx, dev, sites, shots)
 }
 
 // NewCircuit begins a kernel (the paper's qCircuitBegin).
@@ -547,13 +547,13 @@ type (
 )
 
 // RabiCalibrate re-fits the π-pulse amplitude of a site.
-func RabiCalibrate(dev CalibrationTarget, site, points, shots int) (*RabiResult, error) {
-	return calib.RabiCalibrate(dev, site, points, shots)
+func RabiCalibrate(ctx context.Context, dev CalibrationTarget, site, points, shots int) (*RabiResult, error) {
+	return calib.RabiCalibrate(ctx, dev, site, points, shots)
 }
 
 // RamseyCalibrate re-fits the qubit frequency of a site.
-func RamseyCalibrate(dev CalibrationTarget, site int, probeHz float64, points, shots int) (*RamseyResult, error) {
-	return calib.RamseyCalibrate(dev, site, probeHz, points, shots)
+func RamseyCalibrate(ctx context.Context, dev CalibrationTarget, site int, probeHz float64, points, shots int) (*RamseyResult, error) {
+	return calib.RamseyCalibrate(ctx, dev, site, probeHz, points, shots)
 }
 
 // CalibrationPolicyFor derives a technology-appropriate cadence via QDMI.
@@ -567,14 +567,14 @@ func CalibrationEpoch(dev Device) (int64, error) { return qdmi.QueryCalibrationE
 
 // RamseyErrorBenchmark measures frequency-drift-induced error: a resonant
 // sx–idle–sx sequence that lands in |1⟩ when calibration is fresh.
-func RamseyErrorBenchmark(dev CalibrationTarget, site int, tauSeconds float64, shots int) (float64, error) {
-	return calib.RamseyErrorBenchmark(dev, site, tauSeconds, shots)
+func RamseyErrorBenchmark(ctx context.Context, dev CalibrationTarget, site int, tauSeconds float64, shots int) (float64, error) {
+	return calib.RamseyErrorBenchmark(ctx, dev, site, tauSeconds, shots)
 }
 
 // PulseTrainBenchmark measures amplitude-drift-induced error via an odd
 // π-pulse train.
-func PulseTrainBenchmark(dev CalibrationTarget, site, n, shots int) (float64, error) {
-	return calib.PulseTrainBenchmark(dev, site, n, shots)
+func PulseTrainBenchmark(ctx context.Context, dev CalibrationTarget, site, n, shots int) (float64, error) {
+	return calib.PulseTrainBenchmark(ctx, dev, site, n, shots)
 }
 
 // NewCalibrationScheduler builds the cadence tracker.
@@ -629,6 +629,6 @@ func NewPulseAnsatz(dev Device, qubits int) (*PulseAnsatz, error) {
 }
 
 // RunVQE minimizes the measured energy over ansatz parameters.
-func RunVQE(dev Device, h *PauliHamiltonian, a vqe.Ansatz, x0 []float64, opts VQEOptions) (*VQEResult, error) {
-	return vqe.Run(dev, h, a, x0, opts)
+func RunVQE(ctx context.Context, dev Device, h *PauliHamiltonian, a vqe.Ansatz, x0 []float64, opts VQEOptions) (*VQEResult, error) {
+	return vqe.Run(ctx, dev, h, a, x0, opts)
 }

@@ -121,17 +121,17 @@ func TestFacadeCalibrationRoundtrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	dev.SetCalibratedFrequency(0, dev.TrueFrequency(0)+250e3)
-	rr, err := mqsspulse.RamseyCalibrate(dev, 0, 1e6, 16, 600)
+	rr, err := mqsspulse.RamseyCalibrate(context.Background(), dev, 0, 1e6, 16, 600)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(rr.MeasuredOffsetHz-250e3) > 40e3 {
 		t.Fatalf("offset %g", rr.MeasuredOffsetHz)
 	}
-	if _, err := mqsspulse.RamseyErrorBenchmark(dev, 0, 2e-6, 400); err != nil {
+	if _, err := mqsspulse.RamseyErrorBenchmark(context.Background(), dev, 0, 2e-6, 400); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mqsspulse.PulseTrainBenchmark(dev, 0, 5, 400); err != nil {
+	if _, err := mqsspulse.PulseTrainBenchmark(context.Background(), dev, 0, 5, 400); err != nil {
 		t.Fatal(err)
 	}
 	pol, err := mqsspulse.CalibrationPolicyFor(dev)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -100,7 +101,7 @@ func evolveEntry() (benchEntry, error) {
 // fleetEntry benchmarks a 64-job burst through a 4-member pool — the
 // fleet scheduler path every lifecycle span now instruments.
 func fleetEntry() (benchEntry, error) {
-	run, _, cleanup, err := experiments.FleetBenchRig(4, 0)
+	run, _, cleanup, err := experiments.FleetBenchRig(context.Background(), 4, 0)
 	if err != nil {
 		return benchEntry{}, err
 	}
@@ -224,7 +225,7 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		tab, err := f()
+		tab, err := f(context.Background())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
 			os.Exit(1)

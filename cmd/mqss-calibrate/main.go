@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +43,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ctx := context.Background()
 	policy, err := calib.PolicyFor(dev)
 	if err != nil {
 		fatal(err)
@@ -54,18 +56,18 @@ func main() {
 		(dev.CalibratedFrequency(0)-dev.TrueFrequency(0))/1e3)
 	fmt.Printf("  true amplitude scale %+.3f%%\n", (dev.TrueAmpScale()-1)*100)
 
-	before, err := calib.RamseyErrorBenchmark(dev, 0, tau, 2000)
+	before, err := calib.RamseyErrorBenchmark(ctx, dev, 0, tau, 2000)
 	if err != nil {
 		fatal(err)
 	}
-	beforeTrain, err := calib.PulseTrainBenchmark(dev, 0, 11, 2000)
+	beforeTrain, err := calib.PulseTrainBenchmark(ctx, dev, 0, 11, 2000)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("  benchmark error before calibration: ramsey=%.4f  train=%.4f\n", before, beforeTrain)
 
 	fmt.Println("running Ramsey frequency calibration...")
-	rr, err := calib.RamseyCalibrate(dev, 0, policy.ProbeHz, 16, 800)
+	rr, err := calib.RamseyCalibrate(ctx, dev, 0, policy.ProbeHz, 16, 800)
 	if err != nil {
 		fatal(err)
 	}
@@ -73,18 +75,18 @@ func main() {
 		rr.MeasuredOffsetHz/1e3, rr.OldFreq/1e9, rr.NewFreq/1e9)
 
 	fmt.Println("running Rabi amplitude calibration...")
-	ra, err := calib.RabiCalibrate(dev, 0, 12, 800)
+	ra, err := calib.RabiCalibrate(ctx, dev, 0, 12, 800)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("  pi amplitude %.4f -> %.4f (%+.2f%%)\n",
 		ra.OldAmp, ra.NewAmp, (ra.NewAmp/ra.OldAmp-1)*100)
 
-	after, err := calib.RamseyErrorBenchmark(dev, 0, tau, 2000)
+	after, err := calib.RamseyErrorBenchmark(ctx, dev, 0, tau, 2000)
 	if err != nil {
 		fatal(err)
 	}
-	afterTrain, err := calib.PulseTrainBenchmark(dev, 0, 11, 2000)
+	afterTrain, err := calib.PulseTrainBenchmark(ctx, dev, 0, 11, 2000)
 	if err != nil {
 		fatal(err)
 	}

@@ -59,14 +59,14 @@ func main() {
 		for i := 0; i < steps; i++ {
 			maintained.AdvanceTime(tc.step)
 			neglected.AdvanceTime(tc.step)
-			if _, err := sched.Tick(); err != nil {
+			if _, err := sched.Tick(context.Background()); err != nil {
 				log.Fatal(err)
 			}
-			ec, err := mqsspulse.RamseyErrorBenchmark(maintained, 0, tc.tau, 800)
+			ec, err := mqsspulse.RamseyErrorBenchmark(context.Background(), maintained, 0, tc.tau, 800)
 			if err != nil {
 				log.Fatal(err)
 			}
-			er, err := mqsspulse.RamseyErrorBenchmark(neglected, 0, tc.tau, 800)
+			er, err := mqsspulse.RamseyErrorBenchmark(context.Background(), neglected, 0, tc.tau, 800)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -122,7 +122,7 @@ func epochDemo(seed int64) error {
 
 	// Hours of drift, then a Rabi writeback: the epoch moves.
 	dev.AdvanceTime(4 * 3600)
-	if _, err := mqsspulse.RabiCalibrate(dev, 0, 12, 400); err != nil {
+	if _, err := mqsspulse.RabiCalibrate(context.Background(), dev, 0, 12, 400); err != nil {
 		return err
 	}
 	epoch, _ = mqsspulse.CalibrationEpoch(dev)

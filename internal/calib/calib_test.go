@@ -1,6 +1,7 @@
 package calib
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -105,7 +106,7 @@ func TestRabiCalibrateRecoversAmplitude(t *testing.T) {
 	// pull it back to within ~2%.
 	d := newMiscalibratedSC(t, 0, 0.12)
 	before := d.CalibratedPiAmplitude(0)
-	res, err := RabiCalibrate(d, 0, 12, 800)
+	res, err := RabiCalibrate(context.Background(), d, 0, 12, 800)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestRamseyCalibrateRecoversFrequency(t *testing.T) {
 	// should recover it within ~30 kHz.
 	freqErr := 200e3
 	d := newMiscalibratedSC(t, freqErr, 0)
-	res, err := RamseyCalibrate(d, 0, 1e6, 16, 800)
+	res, err := RamseyCalibrate(context.Background(), d, 0, 1e6, 16, 800)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestRamseyCalibrateRecoversFrequency(t *testing.T) {
 func TestRamseyCalibrateNegativeError(t *testing.T) {
 	freqErr := -300e3
 	d := newMiscalibratedSC(t, freqErr, 0)
-	res, err := RamseyCalibrate(d, 0, 1e6, 16, 800)
+	res, err := RamseyCalibrate(context.Background(), d, 0, 1e6, 16, 800)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestRamseyCalibrateNegativeError(t *testing.T) {
 
 func TestRamseyCalibrateValidation(t *testing.T) {
 	d := newMiscalibratedSC(t, 0, 0)
-	if _, err := RamseyCalibrate(d, 0, -5, 8, 100); err == nil {
+	if _, err := RamseyCalibrate(context.Background(), d, 0, -5, 8, 100); err == nil {
 		t.Fatal("negative probe accepted")
 	}
 }
@@ -163,7 +164,7 @@ func TestRamseyCalibrateValidation(t *testing.T) {
 func TestMeasureT1(t *testing.T) {
 	d := newMiscalibratedSC(t, 0, 0)
 	// True T1 is 80 µs (preset).
-	res, err := MeasureT1(d, 0, 160e-6, 8, 600)
+	res, err := MeasureT1(context.Background(), d, 0, 160e-6, 8, 600)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,11 +178,11 @@ func TestRamseyErrorBenchmarkSensitivity(t *testing.T) {
 	good := newMiscalibratedSC(t, 0, 0)
 	bad := newMiscalibratedSC(t, 150e3, 0)
 	tau := 2e-6
-	e0, err := RamseyErrorBenchmark(good, 0, tau, 1500)
+	e0, err := RamseyErrorBenchmark(context.Background(), good, 0, tau, 1500)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e1, err := RamseyErrorBenchmark(bad, 0, tau, 1500)
+	e1, err := RamseyErrorBenchmark(context.Background(), bad, 0, tau, 1500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestSchedulerDueAndTick(t *testing.T) {
 	if len(due) != 1 || due[0].Routine != "ramsey" {
 		t.Fatalf("due = %+v, want one ramsey", due)
 	}
-	n, err := s.Tick()
+	n, err := s.Tick(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestFineAmplitudeCalibrate(t *testing.T) {
 	d := newMiscalibratedSC(t, 0, 0.02)
 	fresh, _ := devices.Superconducting("fresh-fine", 1, 77)
 	truth := fresh.CalibratedPiAmplitude(0)
-	res, err := FineAmplitudeCalibrate(d, 0, 1200)
+	res, err := FineAmplitudeCalibrate(context.Background(), d, 0, 1200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestFineAmplitudeCalibrateNegativeError(t *testing.T) {
 	d := newMiscalibratedSC(t, 0, -0.03)
 	fresh, _ := devices.Superconducting("fresh-fine2", 1, 77)
 	truth := fresh.CalibratedPiAmplitude(0)
-	res, err := FineAmplitudeCalibrate(d, 0, 1200)
+	res, err := FineAmplitudeCalibrate(context.Background(), d, 0, 1200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +295,7 @@ func TestFineAmplitudeBeatsCoarseNoiseFloor(t *testing.T) {
 	d := newMiscalibratedSC(t, 0, 0.005)
 	fresh, _ := devices.Superconducting("fresh-fine3", 1, 77)
 	truth := fresh.CalibratedPiAmplitude(0)
-	res, err := FineAmplitudeCalibrate(d, 0, 1200)
+	res, err := FineAmplitudeCalibrate(context.Background(), d, 0, 1200)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -35,7 +35,7 @@ type ReadoutCalibResult struct {
 
 // runKerneled submits a module at kerneled measurement level and returns
 // the IQ point of the single capture for every shot.
-func runKerneled(dev qdmi.Device, mod *qir.Module, shots int) ([]readout.IQ, error) {
+func runKerneled(ctx context.Context, dev qdmi.Device, mod *qir.Module, shots int) ([]readout.IQ, error) {
 	as, ok := dev.(qdmi.AcquisitionSubmitter)
 	if !ok {
 		return nil, fmt.Errorf("%w: device %s cannot return kerneled measurement data",
@@ -47,7 +47,7 @@ func runKerneled(dev qdmi.Device, mod *qir.Module, shots int) ([]readout.IQ, err
 	if err != nil {
 		return nil, err
 	}
-	if st := job.Wait(context.Background()); st != qdmi.JobDone {
+	if st := job.Wait(ctx); st != qdmi.JobDone {
 		_, rerr := job.Result()
 		return nil, fmt.Errorf("calib: job %s %v: %v", job.ID(), st, rerr)
 	}
@@ -107,7 +107,7 @@ func splitShots(points []readout.IQ) (train, hold []readout.IQ) {
 // shots, evaluates it on the held-out half, and writes the measured
 // assignment fidelity back into the device's calibration table — the
 // readout analogue of the Rabi/Ramsey routines.
-func ReadoutCalibrate(dev ReadoutTarget, site, shots int) (*ReadoutCalibResult, error) {
+func ReadoutCalibrate(ctx context.Context, dev ReadoutTarget, site, shots int) (*ReadoutCalibResult, error) {
 	if shots <= 0 {
 		shots = 2000
 	}
@@ -122,11 +122,11 @@ func ReadoutCalibrate(dev ReadoutTarget, site, shots int) (*ReadoutCalibResult, 
 	if err != nil {
 		return nil, err
 	}
-	zeros, err := runKerneled(dev, prep0, shots)
+	zeros, err := runKerneled(ctx, dev, prep0, shots)
 	if err != nil {
 		return nil, err
 	}
-	ones, err := runKerneled(dev, prep1, shots)
+	ones, err := runKerneled(ctx, dev, prep1, shots)
 	if err != nil {
 		return nil, err
 	}
@@ -161,7 +161,7 @@ func ReadoutCalibrate(dev ReadoutTarget, site, shots int) (*ReadoutCalibResult, 
 // matrix is measured through the same readout chain user jobs use. The
 // returned mitigator corrects counts of kernels that measure sites[i]
 // into classical bit i (the convention of in-order Measure calls).
-func ReadoutMitigator(dev qdmi.Device, sites []int, shots int) (*readout.Mitigator, error) {
+func ReadoutMitigator(ctx context.Context, dev qdmi.Device, sites []int, shots int) (*readout.Mitigator, error) {
 	if shots <= 0 {
 		shots = 2000
 	}
@@ -175,11 +175,11 @@ func ReadoutMitigator(dev qdmi.Device, sites []int, shots int) (*readout.Mitigat
 		if err != nil {
 			return nil, err
 		}
-		p1Given0, err := runP1(dev, prep0, shots)
+		p1Given0, err := runP1(ctx, dev, prep0, shots)
 		if err != nil {
 			return nil, err
 		}
-		p1Given1, err := runP1(dev, prep1, shots)
+		p1Given1, err := runP1(ctx, dev, prep1, shots)
 		if err != nil {
 			return nil, err
 		}

@@ -24,7 +24,7 @@ func TestReadoutCalibrateTrainsToConfiguredFidelity(t *testing.T) {
 	}
 	configured := want.(float64)
 
-	res, err := ReadoutCalibrate(dev, site, 4000)
+	res, err := ReadoutCalibrate(context.Background(), dev, site, 4000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,11 +67,11 @@ func TestReadoutCalibratePerSiteSpread(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r0, err := ReadoutCalibrate(cfgDev, 0, 4000)
+	r0, err := ReadoutCalibrate(context.Background(), cfgDev, 0, 4000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := ReadoutCalibrate(cfgDev, 1, 4000)
+	r1, err := ReadoutCalibrate(context.Background(), cfgDev, 1, 4000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestReadoutMitigatorReducesReadoutError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mit, err := ReadoutMitigator(dev, []int{0, 1}, 6000)
+	mit, err := ReadoutMitigator(context.Background(), dev, []int{0, 1}, 6000)
 	if err != nil {
 		t.Fatal(err)
 	}

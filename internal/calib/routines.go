@@ -76,12 +76,12 @@ func readoutWindow(dev qdmi.Device, site int) int64 {
 
 // runP1 submits a single-capture pulse module and returns the observed
 // P(bit=1).
-func runP1(dev qdmi.Device, mod *qir.Module, shots int) (float64, error) {
+func runP1(ctx context.Context, dev qdmi.Device, mod *qir.Module, shots int) (float64, error) {
 	job, err := dev.SubmitJob([]byte(mod.Emit()), qdmi.FormatQIRPulse, shots)
 	if err != nil {
 		return 0, err
 	}
-	if st := job.Wait(context.Background()); st != qdmi.JobDone {
+	if st := job.Wait(ctx); st != qdmi.JobDone {
 		_, rerr := job.Result()
 		return 0, fmt.Errorf("calib: job %s %v: %v", job.ID(), st, rerr)
 	}
@@ -114,7 +114,7 @@ type RabiResult struct {
 
 // RabiCalibrate sweeps the drive amplitude, fits the Rabi oscillation, and
 // writes the corrected π amplitude back into the device calibration table.
-func RabiCalibrate(dev Target, site int, points, shots int) (*RabiResult, error) {
+func RabiCalibrate(ctx context.Context, dev Target, site int, points, shots int) (*RabiResult, error) {
 	if points < 5 {
 		points = 12
 	}
@@ -155,7 +155,7 @@ func RabiCalibrate(dev Target, site int, points, shots int) (*RabiResult, error)
 				{Callee: qir.IntrBarrier, Args: []qir.Arg{qir.PortArg(0), qir.PortArg(1)}},
 				{Callee: qir.IntrCapture, Args: []qir.Arg{qir.PortArg(1), qir.ResultArg(0), qir.I64Arg(window)}},
 			})
-		p1, err := runP1(dev, mod, shots)
+		p1, err := runP1(ctx, dev, mod, shots)
 		if err != nil {
 			return nil, err
 		}
@@ -181,7 +181,7 @@ func RabiCalibrate(dev Target, site int, points, shots int) (*RabiResult, error)
 // with slope ∝ N — pushing the fit precision far below the coarse Rabi
 // sweep's shot-noise floor (the practice behind fine-amplitude schemas and
 // the adaptive tracking of the paper's reference [4]).
-func FineAmplitudeCalibrate(dev Target, site int, shots int) (*RabiResult, error) {
+func FineAmplitudeCalibrate(ctx context.Context, dev Target, site int, shots int) (*RabiResult, error) {
 	if shots <= 0 {
 		shots = 800
 	}
@@ -213,7 +213,7 @@ func FineAmplitudeCalibrate(dev Target, site int, shots int) (*RabiResult, error
 		)
 		mod := pulseModule(fmt.Sprintf("fineamp_%d", nPi), drive, readout,
 			[]qir.WaveformConst{{Name: "x", Samples: xw}, {Name: "sx", Samples: sxw}}, body)
-		return runP1(dev, mod, shots)
+		return runP1(ctx, dev, mod, shots)
 	}
 	// Readout floor from a single π pulse.
 	pSingle, err := func() (float64, error) {
@@ -224,7 +224,7 @@ func FineAmplitudeCalibrate(dev Target, site int, shots int) (*RabiResult, error
 		}
 		mod := pulseModule("fineamp_ref", drive, readout,
 			[]qir.WaveformConst{{Name: "x", Samples: xw}}, body)
-		return runP1(dev, mod, shots)
+		return runP1(ctx, dev, mod, shots)
 	}()
 	if err != nil {
 		return nil, err
@@ -283,7 +283,7 @@ type RamseyResult struct {
 // Ramsey fringe sweeps (±probe to resolve the sign) and writes the
 // corrected frequency back. The probe detuning must exceed the expected
 // error magnitude.
-func RamseyCalibrate(dev Target, site int, probeHz float64, points, shots int) (*RamseyResult, error) {
+func RamseyCalibrate(ctx context.Context, dev Target, site int, probeHz float64, points, shots int) (*RamseyResult, error) {
 	if probeHz <= 0 {
 		return nil, fmt.Errorf("calib: probe detuning must be positive")
 	}
@@ -308,11 +308,11 @@ func RamseyCalibrate(dev Target, site int, probeHz float64, points, shots int) (
 	window := readoutWindow(dev, site)
 	// Sweep τ over ~2.2 probe periods.
 	maxTau := 2.2 / probeHz
-	fPlus, err := ramseySweep(dev, drive, readout, sx, +probeHz, maxTau, rate, window, points, shots, probeHz)
+	fPlus, err := ramseySweep(ctx, dev, drive, readout, sx, +probeHz, maxTau, rate, window, points, shots, probeHz)
 	if err != nil {
 		return nil, err
 	}
-	fMinus, err := ramseySweep(dev, drive, readout, sx, -probeHz, maxTau, rate, window, points, shots, probeHz)
+	fMinus, err := ramseySweep(ctx, dev, drive, readout, sx, -probeHz, maxTau, rate, window, points, shots, probeHz)
 	if err != nil {
 		return nil, err
 	}
@@ -324,7 +324,7 @@ func RamseyCalibrate(dev Target, site int, probeHz float64, points, shots int) (
 	return res, nil
 }
 
-func ramseySweep(dev qdmi.Device, drive, readout string, sx []complex128,
+func ramseySweep(ctx context.Context, dev qdmi.Device, drive, readout string, sx []complex128,
 	probeHz, maxTau, rate float64, window int64, points, shots int, probeAbs float64) (float64, error) {
 	var ts, ys []float64
 	for i := 0; i < points; i++ {
@@ -345,7 +345,7 @@ func ramseySweep(dev qdmi.Device, drive, readout string, sx []complex128,
 		)
 		mod := pulseModule(fmt.Sprintf("ramsey_%d", i), drive, readout,
 			[]qir.WaveformConst{{Name: "sx", Samples: sx}}, body)
-		p1, err := runP1(dev, mod, shots)
+		p1, err := runP1(ctx, dev, mod, shots)
 		if err != nil {
 			return 0, err
 		}
@@ -363,7 +363,7 @@ type T1Result struct {
 
 // MeasureT1 prepares |1⟩, sweeps an idle delay, and fits the exponential
 // decay of P(1).
-func MeasureT1(dev Target, site int, maxDelaySeconds float64, points, shots int) (*T1Result, error) {
+func MeasureT1(ctx context.Context, dev Target, site int, maxDelaySeconds float64, points, shots int) (*T1Result, error) {
 	if points < 4 {
 		points = 8
 	}
@@ -400,7 +400,7 @@ func MeasureT1(dev Target, site int, maxDelaySeconds float64, points, shots int)
 		)
 		mod := pulseModule(fmt.Sprintf("t1_%d", i), drive, readout,
 			[]qir.WaveformConst{{Name: "x", Samples: xw}}, body)
-		p1, err := runP1(dev, mod, shots)
+		p1, err := runP1(ctx, dev, mod, shots)
 		if err != nil {
 			return nil, err
 		}
@@ -419,7 +419,7 @@ func MeasureT1(dev Target, site int, maxDelaySeconds float64, points, shots int)
 // the returned error 1 − P(1) by ≈ sin²(n·π·ε/2). This is the benchmark
 // that exposes drive-strength drift (laser power, motional-mode movement),
 // to which Ramsey sequences are blind.
-func PulseTrainBenchmark(dev Target, site, n, shots int) (float64, error) {
+func PulseTrainBenchmark(ctx context.Context, dev Target, site, n, shots int) (float64, error) {
 	if n%2 == 0 {
 		return 0, fmt.Errorf("calib: pulse train length must be odd, got %d", n)
 	}
@@ -443,7 +443,7 @@ func PulseTrainBenchmark(dev Target, site, n, shots int) (float64, error) {
 	)
 	mod := pulseModule("pulse_train_bench", drive, readout,
 		[]qir.WaveformConst{{Name: "x", Samples: xw}}, body)
-	p1, err := runP1(dev, mod, shots)
+	p1, err := runP1(ctx, dev, mod, shots)
 	if err != nil {
 		return 0, err
 	}
@@ -455,7 +455,7 @@ func PulseTrainBenchmark(dev Target, site, n, shots int) (float64, error) {
 // that should land in |1⟩ when the frame is exactly on resonance. The
 // returned error is 1 − P(1); frequency miscalibration Δ raises it by
 // ≈ sin²(π·Δ·τ).
-func RamseyErrorBenchmark(dev Target, site int, tauSeconds float64, shots int) (float64, error) {
+func RamseyErrorBenchmark(ctx context.Context, dev Target, site int, tauSeconds float64, shots int) (float64, error) {
 	drive, readout, err := sitePorts(dev, site)
 	if err != nil {
 		return 0, err
@@ -484,7 +484,7 @@ func RamseyErrorBenchmark(dev Target, site int, tauSeconds float64, shots int) (
 	)
 	mod := pulseModule("ramsey_bench", drive, readout,
 		[]qir.WaveformConst{{Name: "sx", Samples: sx}}, body)
-	p1, err := runP1(dev, mod, shots)
+	p1, err := runP1(ctx, dev, mod, shots)
 	if err != nil {
 		return 0, err
 	}

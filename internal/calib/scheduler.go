@@ -1,6 +1,7 @@
 package calib
 
 import (
+	"context"
 	"fmt"
 
 	"mqsspulse/internal/qdmi"
@@ -107,12 +108,12 @@ func (s *Scheduler) Due() []Event {
 
 // Tick runs every due routine and records events. It returns the number of
 // routines executed.
-func (s *Scheduler) Tick() (int, error) {
+func (s *Scheduler) Tick(ctx context.Context) (int, error) {
 	due := s.Due()
 	for _, ev := range due {
 		switch ev.Routine {
 		case "ramsey":
-			r, err := RamseyCalibrate(s.Dev, ev.Site, s.Policy.ProbeHz, 0, s.Policy.Shots)
+			r, err := RamseyCalibrate(ctx, s.Dev, ev.Site, s.Policy.ProbeHz, 0, s.Policy.Shots)
 			if err != nil {
 				return len(s.Events), fmt.Errorf("calib: ramsey on site %d: %w", ev.Site, err)
 			}
@@ -122,9 +123,9 @@ func (s *Scheduler) Tick() (int, error) {
 			// Fine (error-amplified) calibration tracks the small drifts a
 			// running system sees; the coarse Rabi sweep is the fallback
 			// when the amplitude is too far off for the train fit.
-			r, err := FineAmplitudeCalibrate(s.Dev, ev.Site, s.Policy.Shots)
+			r, err := FineAmplitudeCalibrate(ctx, s.Dev, ev.Site, s.Policy.Shots)
 			if err != nil {
-				r, err = RabiCalibrate(s.Dev, ev.Site, 0, s.Policy.Shots)
+				r, err = RabiCalibrate(ctx, s.Dev, ev.Site, 0, s.Policy.Shots)
 			}
 			if err != nil {
 				return len(s.Events), fmt.Errorf("calib: rabi on site %d: %w", ev.Site, err)

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -276,7 +277,7 @@ func TestQRMCalibrationMaintenanceIntegration(t *testing.T) {
 	pol.Shots = 400
 	sched := calib.NewScheduler(dev, pol)
 	c.QRM().SetMaintenanceHook(func(d qdmi.Device) error {
-		_, err := sched.Tick()
+		_, err := sched.Tick(context.Background())
 		return err
 	})
 	// Push the device past its Ramsey cadence.

@@ -121,6 +121,10 @@ func TestWireErrorKindRoundTrip(t *testing.T) {
 	}{
 		{qrm.ErrOverloaded, "overloaded"},
 		{qrm.ErrNoSuchTarget, "no_such_target"},
+		{qrm.ErrCancelled, "cancelled"},
+		{qdmi.ErrNotSupported, "not_supported"},
+		{qdmi.ErrInvalidArgument, "invalid_argument"},
+		{qdmi.ErrFatal, "fatal"},
 		{errors.New("plain"), ""},
 	}
 	for _, tc := range cases {

@@ -138,6 +138,7 @@ type Server struct {
 // NewServer starts listening on addr ("127.0.0.1:0" for an ephemeral
 // port). Options tune idle/read deadlines and job time bounds.
 func NewServer(c *Client, addr string, opts ...ServerOption) (*Server, error) {
+	//lint:mqssvet disable=ctxflow the default base context is overridable via WithServerBaseContext; Background is the documented fallback
 	cfg := serverConfig{baseCtx: context.Background()}
 	for _, o := range opts {
 		o(&cfg)
@@ -372,6 +373,14 @@ func errorKind(err error) string {
 		return "stale_calibration"
 	case errors.Is(err, ptemplate.ErrBadParam):
 		return "bad_param"
+	case errors.Is(err, qrm.ErrCancelled):
+		return "cancelled"
+	case errors.Is(err, qdmi.ErrNotSupported):
+		return "not_supported"
+	case errors.Is(err, qdmi.ErrInvalidArgument):
+		return "invalid_argument"
+	case errors.Is(err, qdmi.ErrFatal):
+		return "fatal"
 	default:
 		return ""
 	}
@@ -388,6 +397,14 @@ func errorFromWire(kind, msg string) error {
 		return fmt.Errorf("client: remote: %w: %s", qrm.ErrStaleCalibration, msg)
 	case "bad_param":
 		return fmt.Errorf("client: remote: %w: %s", ptemplate.ErrBadParam, msg)
+	case "cancelled":
+		return fmt.Errorf("client: remote: %w: %s", qrm.ErrCancelled, msg)
+	case "not_supported":
+		return fmt.Errorf("client: remote: %w: %s", qdmi.ErrNotSupported, msg)
+	case "invalid_argument":
+		return fmt.Errorf("client: remote: %w: %s", qdmi.ErrInvalidArgument, msg)
+	case "fatal":
+		return fmt.Errorf("client: remote: %w: %s", qdmi.ErrFatal, msg)
 	case "unknown_template":
 		return fmt.Errorf("client: remote: template not registered: %s", msg)
 	default:
@@ -421,6 +438,7 @@ type RemoteAdapter struct {
 
 // NewRemoteAdapter dials the remote server, detached from any context.
 func NewRemoteAdapter(addr string, opts ...RemoteOption) (*RemoteAdapter, error) {
+	//lint:mqssvet disable=ctxflow convenience constructor; the Ctx variant is the context-carrying path
 	return NewRemoteAdapterCtx(context.Background(), addr, opts...)
 }
 

@@ -250,6 +250,7 @@ type Result struct {
 // (with QDMI queries against the target) → QIR Pulse Profile payload.
 func Compile(c *qpi.Circuit, dev qdmi.Device) (*Result, error) {
 	res := &Result{}
+	//lint:mqssvet disable=nodrift stage-timing telemetry only; never reaches payload bytes
 	t0 := time.Now()
 	m, err := Frontend(c, dev)
 	if err != nil {
@@ -257,6 +258,7 @@ func Compile(c *qpi.Circuit, dev qdmi.Device) (*Result, error) {
 	}
 	res.Timings.Frontend = time.Since(t0)
 
+	//lint:mqssvet disable=nodrift stage-timing telemetry only; never reaches payload bytes
 	t1 := time.Now()
 	ctx := passes.NewContext(dev)
 	pm := passes.DefaultPipeline()
@@ -268,6 +270,7 @@ func Compile(c *qpi.Circuit, dev qdmi.Device) (*Result, error) {
 	res.Stats = ctx.Stats
 	res.MLIR = m
 
+	//lint:mqssvet disable=nodrift stage-timing telemetry only; never reaches payload bytes
 	t2 := time.Now()
 	q, err := Backend(m, dev)
 	if err != nil {
@@ -292,6 +295,7 @@ func CompileMLIRText(src string, dev qdmi.Device) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:mqssvet disable=nodrift stage-timing telemetry only; never reaches payload bytes
 	t1 := time.Now()
 	ctx := passes.NewContext(dev)
 	if err := passes.DefaultPipeline().Run(m, ctx); err != nil {
@@ -302,6 +306,7 @@ func CompileMLIRText(src string, dev qdmi.Device) (*Result, error) {
 	res.Stats = ctx.Stats
 	res.MLIR = m
 
+	//lint:mqssvet disable=nodrift stage-timing telemetry only; never reaches payload bytes
 	t2 := time.Now()
 	q, err := Backend(m, dev)
 	if err != nil {

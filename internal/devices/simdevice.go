@@ -31,17 +31,17 @@ type SimDevice struct {
 	nowSeconds float64
 	drift      *driftState
 	// Calibration table: what the control electronics believe.
-	calibFreqHz []float64
-	calibPiAmp  []float64
+	calibFreqHz []float64 //mqss:calibrated
+	calibPiAmp  []float64 //mqss:calibrated
 	// calibReadoutFid is the believed per-site assignment fidelity; the
 	// readout-calibration routine writes measured values back here.
-	calibReadoutFid []float64
-	customPulses    map[string]*qdmi.PulseImpl
+	calibReadoutFid []float64                  //mqss:calibrated
+	customPulses    map[string]*qdmi.PulseImpl //mqss:calibrated
 	// calibEpoch implements the qdmi.DevicePropCalibrationEpoch bump
 	// contract: every calibration mutation (the four setters below and
 	// SetPulseImpl) increments it, invalidating payloads compiled against
 	// the previous calibration.
-	calibEpoch int64
+	calibEpoch int64 //mqss:epoch
 	nextJob    int
 	// jobOverhead models fixed control-electronics wall-clock per job
 	// (arming, waveform upload, readout transfer); zero disables it.

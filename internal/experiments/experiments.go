@@ -115,7 +115,7 @@ func dur(d time.Duration) string { return fmt.Sprintf("%.3gµs", float64(d.Nanos
 
 // F1TopDown traces Fig. 1: per-stage lowering cost and artifact sizes as a
 // kernel descends algorithm → circuit → MLIR → scheduled pulses → QIR.
-func F1TopDown() (*Table, error) {
+func F1TopDown(ctx context.Context) (*Table, error) {
 	dev, err := devices.Superconducting("f1-sc", 2, 101)
 	if err != nil {
 		return nil, err
@@ -199,7 +199,7 @@ func compileDetail(k *qpi.Circuit, dev *devices.SimDevice) (*compileDetailResult
 // F2EndToEnd measures Fig. 2's architecture path: throughput and latency of
 // adapter → client → QRM → JIT → QDMI → device for gate vs pulse payloads,
 // locally and over the remote TCP path.
-func F2EndToEnd() (*Table, error) {
+func F2EndToEnd(ctx context.Context) (*Table, error) {
 	dev, err := devices.Superconducting("f2-sc", 2, 102)
 	if err != nil {
 		return nil, err
@@ -235,13 +235,13 @@ func F2EndToEnd() (*Table, error) {
 	gate := BellKernel()
 	pulseK := PulseKernel(dev)
 	if err := measure("local", "gate (bell)", jobs, func() error {
-		_, err := cl.RunCtx(context.Background(), gate, "f2-sc", client.SubmitOptions{Shots: 256})
+		_, err := cl.RunCtx(ctx, gate, "f2-sc", client.SubmitOptions{Shots: 256})
 		return err
 	}); err != nil {
 		return nil, err
 	}
 	if err := measure("local", "pulse (listing 1)", jobs, func() error {
-		_, err := cl.RunCtx(context.Background(), pulseK, "f2-sc", client.SubmitOptions{Shots: 256})
+		_, err := cl.RunCtx(ctx, pulseK, "f2-sc", client.SubmitOptions{Shots: 256})
 		return err
 	}); err != nil {
 		return nil, err
@@ -261,7 +261,7 @@ func F2EndToEnd() (*Table, error) {
 		return nil, err
 	}
 	if err := measure("remote (TCP)", "gate (bell)", jobs, func() error {
-		_, err := remote.SubmitPayloadCtx(context.Background(), "f2-sc", payload, format, client.SubmitOptions{Shots: 256})
+		_, err := remote.SubmitPayloadCtx(ctx, "f2-sc", payload, format, client.SubmitOptions{Shots: 256})
 		return err
 	}); err != nil {
 		return nil, err
@@ -272,7 +272,7 @@ func F2EndToEnd() (*Table, error) {
 
 // F3QDMI measures Fig. 3's interface: query latencies across the three
 // entity levels and pulse-capability discovery for the three technologies.
-func F3QDMI() (*Table, error) {
+func F3QDMI(ctx context.Context) (*Table, error) {
 	sc, _ := devices.Superconducting("f3-sc", 2, 103)
 	ion, _ := devices.TrappedIon("f3-ion", 2, 103)
 	atom, _ := devices.NeutralAtom("f3-atom", 2, 103)
@@ -319,7 +319,7 @@ func F3QDMI() (*Table, error) {
 // lower per-submission overhead than a scripting-style interpreted
 // interface. Measured is the classical cost only (construct + compile),
 // with the lowering cache off so every iteration pays full cost.
-func L1Overhead() (*Table, error) {
+func L1Overhead(ctx context.Context) (*Table, error) {
 	dev, err := devices.Superconducting("l1-sc", 2, 104)
 	if err != nil {
 		return nil, err
@@ -421,7 +421,7 @@ func interpretedPulseProgram(dev *devices.SimDevice) string {
 
 // L2MLIR measures the Listing 2 path: parse, verify, and run the pass
 // pipeline over the pulse-dialect kernel; report op counts per pass.
-func L2MLIR() (*Table, error) {
+func L2MLIR(ctx context.Context) (*Table, error) {
 	dev, err := devices.Superconducting("l2-sc", 2, 105)
 	if err != nil {
 		return nil, err
@@ -460,25 +460,25 @@ func L2MLIR() (*Table, error) {
 		float64(time.Since(start).Microseconds())/iters),
 		fmt.Sprintf("%d", parsed.OpCount()), fmt.Sprintf("%d", parsed.OpCount())})
 
-	ctx := passes.NewContext(dev)
+	pctx := passes.NewContext(dev)
 	work, err := mlir.Parse(text)
 	if err != nil {
 		return nil, err
 	}
-	if err := passes.DefaultPipeline().Run(work, ctx); err != nil {
+	if err := passes.DefaultPipeline().Run(work, pctx); err != nil {
 		return nil, err
 	}
-	for _, pt := range ctx.Timings {
+	for _, pt := range pctx.Timings {
 		t.Rows = append(t.Rows, []string{"pass: " + pt.Pass, dur(pt.Duration),
 			fmt.Sprintf("%d", pt.OpsIn), fmt.Sprintf("%d", pt.OpsOut)})
 	}
-	t.Notes = append(t.Notes, fmt.Sprintf("pipeline stats: %v", ctx.Stats))
+	t.Notes = append(t.Notes, fmt.Sprintf("pipeline stats: %v", pctx.Stats))
 	return t, nil
 }
 
 // L3QIR measures the Listing 3 path: QIR pulse-profile emit → parse →
 // verify → link against all three device runtimes.
-func L3QIR() (*Table, error) {
+func L3QIR(ctx context.Context) (*Table, error) {
 	sc, _ := devices.Superconducting("l3-sc", 2, 106)
 	ion, _ := devices.TrappedIon("l3-ion", 2, 106)
 	atom, _ := devices.NeutralAtom("l3-atom", 2, 106)
@@ -537,7 +537,7 @@ func L3QIR() (*Table, error) {
 // C1Calibration reproduces the Section 2.1 calibration claims: parameter
 // drift on technology-specific timescales, and scheduled calibration
 // keeping benchmark error bounded while an uncalibrated twin degrades.
-func C1Calibration() (*Table, error) {
+func C1Calibration(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "EXP-C1",
 		Title:   "Automated calibration under drift (§2.1): scheduled vs none",
@@ -581,22 +581,22 @@ func C1Calibration() (*Table, error) {
 		for s := 0; s < steps; s++ {
 			calDev.AdvanceTime(tc.stepSec)
 			rawDev.AdvanceTime(tc.stepSec)
-			if _, err := sched.Tick(); err != nil {
+			if _, err := sched.Tick(ctx); err != nil {
 				return nil, err
 			}
-			rc, err := calib.RamseyErrorBenchmark(calDev, 0, tc.tauBench, shots)
+			rc, err := calib.RamseyErrorBenchmark(ctx, calDev, 0, tc.tauBench, shots)
 			if err != nil {
 				return nil, err
 			}
-			rr, err := calib.RamseyErrorBenchmark(rawDev, 0, tc.tauBench, shots)
+			rr, err := calib.RamseyErrorBenchmark(ctx, rawDev, 0, tc.tauBench, shots)
 			if err != nil {
 				return nil, err
 			}
-			tcal, err := calib.PulseTrainBenchmark(calDev, 0, tc.trainN, shots)
+			tcal, err := calib.PulseTrainBenchmark(ctx, calDev, 0, tc.trainN, shots)
 			if err != nil {
 				return nil, err
 			}
-			traw, err := calib.PulseTrainBenchmark(rawDev, 0, tc.trainN, shots)
+			traw, err := calib.PulseTrainBenchmark(ctx, rawDev, 0, tc.trainN, shots)
 			if err != nil {
 				return nil, err
 			}
@@ -626,7 +626,7 @@ func C1Calibration() (*Table, error) {
 // C2OptimalControl reproduces the Section 2.1 optimal-control claim:
 // open-loop GRAPE degrades under model mismatch; closed-loop and hybrid
 // strategies recover fidelity.
-func C2OptimalControl() (*Table, error) {
+func C2OptimalControl(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "EXP-C2",
 		Title:   "Open- vs closed-loop pulse engineering under model mismatch (§2.1)",
@@ -669,7 +669,7 @@ func C2OptimalControl() (*Table, error) {
 // C3CtrlVQE reproduces the Section 2.1 ctrl-VQE claim: the pulse-level
 // ansatz shortens the schedule and lowers energy error under decoherence
 // relative to the gate-level ansatz.
-func C3CtrlVQE() (*Table, error) {
+func C3CtrlVQE(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "EXP-C3",
 		Title:   "Gate VQE vs ctrl-VQE on H2 (§2.1): energy error and schedule duration",
@@ -698,7 +698,7 @@ func C3CtrlVQE() (*Table, error) {
 			return nil, err
 		}
 		gate := &vqe.GateAnsatz{Qubits: 2, Layers: 2}
-		gres, err := vqe.Run(dev, h, gate, []float64{math.Pi - 0.2, 0.2, -0.1, 0.1, -0.2, 0.2},
+		gres, err := vqe.Run(ctx, dev, h, gate, []float64{math.Pi - 0.2, 0.2, -0.1, 0.1, -0.2, 0.2},
 			vqe.Options{Shots: 700, MaxEvals: 90, InitStep: 0.3})
 		if err != nil {
 			return nil, err
@@ -713,7 +713,7 @@ func C3CtrlVQE() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		pres, err := vqe.Run(dev, h, pa, []float64{0.9, 0.15, 0.0, 0.0, 0.1},
+		pres, err := vqe.Run(ctx, dev, h, pa, []float64{0.9, 0.15, 0.0, 0.0, 0.1},
 			vqe.Options{Shots: 700, MaxEvals: 70, InitStep: 0.15})
 		if err != nil {
 			return nil, err
@@ -847,7 +847,7 @@ func ShotBenchRig() (*simq.Executor, *pulse.ScheduledProgram, error) {
 // vs the matrix-free fast path, for a varying (Gaussian) and a constant
 // (square) envelope, on both engines. Accuracy is reported as the
 // infidelity between the two final states.
-func P1PulseIntegration() (*Table, error) {
+func P1PulseIntegration(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "EXP-P1",
 		Title:   "Pulse-integration hot loop: exact eigendecomposition vs matrix-free propagator",
@@ -910,14 +910,14 @@ func P1PulseIntegration() (*Table, error) {
 }
 
 // All runs every experiment in order.
-func All() ([]*Table, error) {
-	runs := []func() (*Table, error){
+func All(ctx context.Context) ([]*Table, error) {
+	runs := []func(context.Context) (*Table, error){
 		F1TopDown, F2EndToEnd, F3QDMI, L1Overhead, L2MLIR, L3QIR,
 		C1Calibration, C2OptimalControl, C3CtrlVQE, P1PulseIntegration,
 	}
 	var out []*Table
 	for _, run := range runs {
-		tab, err := run()
+		tab, err := run(ctx)
 		if err != nil {
 			return out, err
 		}
@@ -927,8 +927,8 @@ func All() ([]*Table, error) {
 }
 
 // ByID resolves one experiment by its table ID.
-func ByID(id string) (func() (*Table, error), bool) {
-	m := map[string]func() (*Table, error){
+func ByID(id string) (func(context.Context) (*Table, error), bool) {
+	m := map[string]func(context.Context) (*Table, error){
 		"EXP-F1": F1TopDown,
 		"EXP-F2": F2EndToEnd,
 		"EXP-F3": F3QDMI,

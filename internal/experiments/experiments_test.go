@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
 )
 
 func TestF1TopDownShape(t *testing.T) {
-	tab, err := F1TopDown()
+	tab, err := F1TopDown(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,7 +21,7 @@ func TestF1TopDownShape(t *testing.T) {
 }
 
 func TestF3QDMIShape(t *testing.T) {
-	tab, err := F3QDMI()
+	tab, err := F3QDMI(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestF3QDMIShape(t *testing.T) {
 }
 
 func TestL1OverheadShape(t *testing.T) {
-	tab, err := L1Overhead()
+	tab, err := L1Overhead(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestL1OverheadShape(t *testing.T) {
 }
 
 func TestL2MLIRShape(t *testing.T) {
-	tab, err := L2MLIR()
+	tab, err := L2MLIR(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestL2MLIRShape(t *testing.T) {
 }
 
 func TestL3QIRShape(t *testing.T) {
-	tab, err := L3QIR()
+	tab, err := L3QIR(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,7 +32,7 @@ func fleetBenchConfig(name string, seed int64) devices.Config {
 // (for telemetry/statistics inspection) and a cleanup releasing the
 // stack. It is the single source of the fleet bench workload used by
 // cmd/mqss-bench's JSON report.
-func FleetBenchRig(n int, overhead time.Duration) (run func(jobs int) error, cl *client.Client, cleanup func(), err error) {
+func FleetBenchRig(ctx context.Context, n int, overhead time.Duration) (run func(jobs int) error, cl *client.Client, cleanup func(), err error) {
 	drv := qdmi.NewDriver()
 	names := make([]string, n)
 	for i := 0; i < n; i++ {
@@ -66,7 +66,7 @@ func FleetBenchRig(n int, overhead time.Duration) (run func(jobs int) error, cl 
 		for i := range kernels {
 			kernels[i] = k
 		}
-		results, err := cl.RunBatch(context.Background(), kernels, "",
+		results, err := cl.RunBatch(ctx, kernels, "",
 			client.SubmitOptions{Shots: 16, Pool: "fleet", Tag: "fleet-bench"})
 		if err != nil {
 			return err

@@ -86,6 +86,8 @@ func (h *tickHam) add(op *linalg.Sparse, w complex128) {
 
 // normBound returns an upper bound on ‖H‖₂ by the triangle inequality
 // over the cached per-operator norm bounds.
+//
+//mqss:hotloop
 func (h *tickHam) normBound() float64 {
 	n := h.driftNorm
 	for _, d := range h.ops {
@@ -98,6 +100,8 @@ func (h *tickHam) normBound() float64 {
 }
 
 // applyVec computes dst = H·src.
+//
+//mqss:hotloop
 func (h *tickHam) applyVec(dst, src []complex128) {
 	for i := range dst {
 		dst[i] = 0
@@ -115,6 +119,8 @@ func (h *tickHam) applyVec(dst, src []complex128) {
 }
 
 // applyLeft computes dst = H·src for dense src.
+//
+//mqss:hotloop
 func (h *tickHam) applyLeft(dst, src *linalg.Matrix) {
 	for i := range dst.Data {
 		dst.Data[i] = 0
@@ -147,6 +153,8 @@ func newVecStepper(n int) *vecStepper {
 }
 
 // step advances psi ← exp(-i·H·dt)·psi in place.
+//
+//mqss:hotloop
 func (s *vecStepper) step(h *tickHam, psi []complex128, dt float64) {
 	theta := h.normBound() * dt
 	m := 1
@@ -198,6 +206,8 @@ func newMatStepper(n int) *matStepper {
 }
 
 // conjugate advances rho ← exp(-i·H·dt)·rho·exp(+i·H·dt) in place.
+//
+//mqss:hotloop
 func (s *matStepper) conjugate(h *tickHam, rho *linalg.Matrix, dt float64) {
 	s.propagator(h, dt)
 	s.conjugateWith(s.u, rho)
@@ -206,6 +216,8 @@ func (s *matStepper) conjugate(h *tickHam, rho *linalg.Matrix, dt float64) {
 // conjugateWith advances rho ← u·rho·u† in place without allocating,
 // using the stepper's scratch; u may be any dense unitary (e.g. a cached
 // stretch propagator) and must not alias rho.
+//
+//mqss:hotloop
 func (s *matStepper) conjugateWith(u, rho *linalg.Matrix) {
 	u.MulInto(s.work, rho)
 	s.work.MulDaggerInto(rho, u)
@@ -214,6 +226,8 @@ func (s *matStepper) conjugateWith(u, rho *linalg.Matrix) {
 // propagator fills s.u with the scaled-Taylor approximation of
 // exp(-i·H·dt): one sub-step expansion on the identity, then the
 // remaining sub-steps applied by dense powering.
+//
+//mqss:hotloop
 func (s *matStepper) propagator(h *tickHam, dt float64) {
 	theta := h.normBound() * dt
 	m := 1
@@ -247,6 +261,7 @@ func (s *matStepper) propagator(h *tickHam, dt float64) {
 	}
 }
 
+//mqss:hotloop
 func setIdentity(m *linalg.Matrix) {
 	for i := range m.Data {
 		m.Data[i] = 0

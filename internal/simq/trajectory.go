@@ -322,6 +322,8 @@ func (w *trajWorker) constantSpan(active []playEvent, chis []complex128, ticks i
 // jump is applied, a fresh threshold drawn, and the remainder of the
 // interval continues — so even several jumps within one sample tick
 // resolve correctly.
+//
+//mqss:hotloop
 func (w *trajWorker) advanceInterval(span float64, rng *rand.Rand) {
 	for span > 0 {
 		copy(w.prev, w.psi)
@@ -353,6 +355,8 @@ func (w *trajWorker) advanceInterval(span float64, rng *rand.Rand) {
 // k with probability ∝ γ_k·‖L_k ψ‖², then ψ ← L_k ψ / ‖L_k ψ‖ — the
 // standard unraveling weights that make the shot ensemble average to the
 // Lindblad density evolution.
+//
+//mqss:hotloop
 func (w *trajWorker) applyJump(rng *rand.Rand) {
 	total := 0.0
 	for i := range w.sh.cols {
@@ -388,6 +392,8 @@ func (w *trajWorker) applyJump(rng *rand.Rand) {
 
 // sampleOutcome draws one projective outcome from |ψ|²: bit i of the
 // returned mask is set when sites[i] measured at level ≥ 1.
+//
+//mqss:hotloop
 func (w *trajWorker) sampleOutcome(rng *rand.Rand, sites []int) uint64 {
 	acc := 0.0
 	for i, a := range w.psi {
@@ -494,6 +500,8 @@ func expEffective(h *linalg.Matrix, t float64) *linalg.Matrix {
 }
 
 // normSq returns ⟨v|v⟩ without allocating.
+//
+//mqss:hotloop
 func normSq(v []complex128) float64 {
 	var s float64
 	for _, a := range v {
@@ -503,6 +511,8 @@ func normSq(v []complex128) float64 {
 }
 
 // renorm rescales v to unit norm in place (no-op on the zero vector).
+//
+//mqss:hotloop
 func renorm(v []complex128) {
 	n := math.Sqrt(normSq(v))
 	if n == 0 {

@@ -28,7 +28,7 @@ func formatFor(m *qir.Module) qdmi.ProgramFormat {
 // Energy estimates ⟨H⟩ for the ansatz at params. It returns the energy and
 // the longest executed schedule duration (the decoherence exposure of one
 // evaluation).
-func (e *Estimator) Energy(h *Hamiltonian, a Ansatz, params []float64) (float64, float64, error) {
+func (e *Estimator) Energy(ctx context.Context, h *Hamiltonian, a Ansatz, params []float64) (float64, float64, error) {
 	groups, identity := h.GroupTerms()
 	energy := identity
 	var maxDur float64
@@ -41,7 +41,7 @@ func (e *Estimator) Energy(h *Hamiltonian, a Ansatz, params []float64) (float64,
 		if err != nil {
 			return 0, 0, err
 		}
-		if st := job.Wait(context.Background()); st != qdmi.JobDone {
+		if st := job.Wait(ctx); st != qdmi.JobDone {
 			_, rerr := job.Result()
 			return 0, 0, fmt.Errorf("vqe: job %s %v: %v", job.ID(), st, rerr)
 		}
@@ -82,7 +82,7 @@ type RunResult struct {
 // Run minimizes the measured energy over the ansatz parameters with
 // Nelder-Mead — the classical optimizer loop of the paper's Listing 1
 // (calculate_new_parameters).
-func Run(dev qdmi.Device, h *Hamiltonian, a Ansatz, x0 []float64, opts Options) (*RunResult, error) {
+func Run(ctx context.Context, dev qdmi.Device, h *Hamiltonian, a Ansatz, x0 []float64, opts Options) (*RunResult, error) {
 	if err := h.Validate(); err != nil {
 		return nil, err
 	}
@@ -102,7 +102,7 @@ func Run(dev qdmi.Device, h *Hamiltonian, a Ansatz, x0 []float64, opts Options) 
 	res := &RunResult{}
 	best := 1e18
 	objective := func(x []float64) float64 {
-		e, _, err := est.Energy(h, a, x)
+		e, _, err := est.Energy(ctx, h, a, x)
 		if err != nil {
 			// Penalize invalid parameter regions instead of aborting the
 			// simplex; construction errors come from amplitude clipping.
@@ -121,7 +121,7 @@ func Run(dev qdmi.Device, h *Hamiltonian, a Ansatz, x0 []float64, opts Options) 
 	res.Params = x
 	res.Energy = fv
 	// Record the optimum's schedule duration with a fresh evaluation.
-	if _, dur, err := est.Energy(h, a, x); err == nil {
+	if _, dur, err := est.Energy(ctx, h, a, x); err == nil {
 		res.ScheduleSeconds = dur
 	}
 	return res, nil

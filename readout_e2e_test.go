@@ -143,7 +143,7 @@ func TestReadoutCalibrationAndDiscriminatorFidelity(t *testing.T) {
 	}
 	for site := 0; site < 2; site++ {
 		configured := dev.CalibratedReadoutFidelity(site)
-		res, err := mqsspulse.ReadoutCalibrate(dev, site, 4000)
+		res, err := mqsspulse.ReadoutCalibrate(context.Background(), dev, site, 4000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -189,7 +189,7 @@ func TestMitigationOnBiasedPreset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mit, err := mqsspulse.MeasureReadoutMitigator(dev, []int{0, 1}, 6000)
+	mit, err := mqsspulse.MeasureReadoutMitigator(context.Background(), dev, []int{0, 1}, 6000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,344 @@
+// Package spanend enforces the telemetry span lifecycle (PR 7): an
+// ActiveSpan obtained from StartSpan must be ended on every path out of
+// the function that started it — either by a defer or by an End call that
+// dominates each return. An unended span leaves a hole in the job
+// timeline exactly on the failure paths where the trace matters most.
+//
+// The check is a lexical approximation of dominance: an End call counts
+// for a return when it appears earlier in the return's own block or in
+// any enclosing block before the branch containing the return. Spans that
+// escape the starting function (returned, stored, or passed onward) are
+// someone else's responsibility and are skipped.
+package spanend
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mqsspulse/tools/mqssvet/analysis"
+)
+
+// Analyzer is the spanend check.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc:  "every span started with StartSpan must be ended (defer or dominating End) on all return paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc verifies every span started inside fn.
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || !isStartSpan(pass, call) {
+			return true
+		}
+		ident, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if ident.Name == "_" {
+			pass.Reportf(assign.Pos(), "span from StartSpan is discarded and can never be ended")
+			return true
+		}
+		obj := pass.TypesInfo.Defs[ident]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[ident]
+		}
+		if obj == nil {
+			return true
+		}
+		checkSpan(pass, fn, assign, ident.Name, obj)
+		return true
+	})
+}
+
+// checkSpan verifies one started span is ended on every path.
+func checkSpan(pass *analysis.Pass, fn *ast.FuncDecl, start *ast.AssignStmt, name string, obj types.Object) {
+	if escapes(pass, fn, start, obj) {
+		return // ownership transferred; the receiver must end it
+	}
+	if hasDeferredEnd(pass, fn, obj) {
+		return
+	}
+	endSeen := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if isEndCall(pass, n, obj) {
+			endSeen = true
+		}
+		return true
+	})
+	if !endSeen {
+		pass.Reportf(start.Pos(), "span %s is started but never ended; add defer %s.End() or end it on every path", name, name)
+		return
+	}
+	for _, ret := range returnsAfter(fn.Body, start) {
+		if !endedOnPath(pass, fn.Body, ret, obj) {
+			pass.Reportf(ret.Pos(), "return without ending span %s; this path leaves the timeline open", name)
+		}
+	}
+	// A function body that can fall off its end is an implicit return:
+	// require a dominating End at the top level of the body.
+	if fallsOffEnd(fn) && !endedInList(pass, fn.Body.List, len(fn.Body.List), obj) {
+		pass.Reportf(fn.Body.Rbrace, "function may exit without ending span %s", name)
+	}
+}
+
+// escapes reports whether the span value leaves the function: returned,
+// assigned to a field/index/other variable, or passed as a call argument.
+// Method calls on the span itself (End, ID) do not count.
+func escapes(pass *analysis.Pass, fn *ast.FuncDecl, start *ast.AssignStmt, obj types.Object) bool {
+	escaped := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if usesObj(pass, arg, obj) {
+					escaped = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if usesObj(pass, res, obj) {
+					escaped = true
+				}
+			}
+		case *ast.AssignStmt:
+			if n == start {
+				return true
+			}
+			for _, rhs := range n.Rhs {
+				if ident, ok := rhs.(*ast.Ident); ok && pass.TypesInfo.Uses[ident] == obj {
+					escaped = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if usesObj(pass, elt, obj) {
+					escaped = true
+				}
+			}
+		}
+		return true
+	})
+	return escaped
+}
+
+// usesObj reports whether expr is exactly an identifier for obj (not a
+// selector through it — ds.ID() as an argument is fine, ds itself is not).
+func usesObj(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	if kv, ok := expr.(*ast.KeyValueExpr); ok {
+		expr = kv.Value
+	}
+	ident, ok := expr.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[ident] == obj
+}
+
+// isStartSpan matches x.StartSpan(…) whose result type has an End method.
+func isStartSpan(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "StartSpan" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	return hasEndMethod(tv.Type)
+}
+
+// hasEndMethod reports whether t (or *t) has a niladic End method.
+func hasEndMethod(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == "End" {
+			return true
+		}
+	}
+	return false
+}
+
+// isEndCall matches obj.End(…).
+func isEndCall(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[ident] == obj
+}
+
+// hasDeferredEnd matches defer obj.End() anywhere in the function.
+func hasDeferredEnd(pass *analysis.Pass, fn *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if def, ok := n.(*ast.DeferStmt); ok && isEndCall(pass, def.Call, obj) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// returnsAfter collects return statements positioned after pos.
+func returnsAfter(body *ast.BlockStmt, pos ast.Node) []*ast.ReturnStmt {
+	var rets []*ast.ReturnStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a closure's returns are its own
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok && ret.Pos() > pos.End() {
+			rets = append(rets, ret)
+		}
+		return true
+	})
+	return rets
+}
+
+// endedOnPath reports whether an End call lexically dominates ret: at
+// every block level on the path from the function body down to ret, the
+// statements before the branch containing ret (or before ret itself in
+// its own block) are scanned for obj.End().
+func endedOnPath(pass *analysis.Pass, body *ast.BlockStmt, ret *ast.ReturnStmt, obj types.Object) bool {
+	for _, level := range pathTo(body.List, ret) {
+		if endedInList(pass, level.stmts, level.idx, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// pathLevel is one statement list on the path to a target node, with the
+// index of the statement containing the target.
+type pathLevel struct {
+	stmts []ast.Stmt
+	idx   int
+}
+
+// pathTo walks nested statement lists toward target, recording at each
+// level which statement contains it.
+func pathTo(stmts []ast.Stmt, target ast.Node) []pathLevel {
+	for i, s := range stmts {
+		if s.Pos() > target.Pos() || s.End() < target.End() {
+			continue
+		}
+		level := pathLevel{stmts: stmts, idx: i}
+		for _, sub := range childStmtLists(s) {
+			if rest := pathTo(sub, target); rest != nil {
+				return append([]pathLevel{level}, rest...)
+			}
+		}
+		return []pathLevel{level}
+	}
+	return nil
+}
+
+// childStmtLists returns the statement lists nested directly inside s.
+func childStmtLists(s ast.Stmt) [][]ast.Stmt {
+	var lists [][]ast.Stmt
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		lists = append(lists, s.List)
+	case *ast.IfStmt:
+		lists = append(lists, s.Body.List)
+		if s.Else != nil {
+			lists = append(lists, childStmtLists(s.Else)...)
+		}
+	case *ast.ForStmt:
+		lists = append(lists, s.Body.List)
+	case *ast.RangeStmt:
+		lists = append(lists, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lists = append(lists, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lists = append(lists, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				lists = append(lists, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		lists = append(lists, childStmtLists(s.Stmt)...)
+	}
+	return lists
+}
+
+// endedInList reports whether any statement in stmts[:idx] contains
+// obj.End() (outside nested function literals).
+func endedInList(pass *analysis.Pass, stmts []ast.Stmt, idx int, obj types.Object) bool {
+	for _, s := range stmts[:idx] {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if isEndCall(pass, n, obj) {
+				found = true
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// fallsOffEnd approximates whether control can reach the closing brace:
+// true unless the last top-level statement is a return or a terminating
+// construct we recognize (panic call, infinite for without break at top
+// level is treated as terminating only when it has no condition).
+func fallsOffEnd(fn *ast.FuncDecl) bool {
+	if len(fn.Body.List) == 0 {
+		return true
+	}
+	switch last := fn.Body.List[len(fn.Body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return false
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if ident, ok := call.Fun.(*ast.Ident); ok && ident.Name == "panic" {
+				return false
+			}
+		}
+	case *ast.ForStmt:
+		if last.Cond == nil {
+			return false
+		}
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.IfStmt, *ast.SelectStmt:
+		// Branch constructs may or may not terminate; assume reachable fall
+		// through only when the function has no result values (with results
+		// the compiler already forces explicit returns everywhere).
+		return fn.Type.Results == nil || fn.Type.Results.NumFields() == 0
+	}
+	return fn.Type.Results == nil || fn.Type.Results.NumFields() == 0
+}

@@ -1,0 +1,483 @@
+// Package wirekind enforces the wire error-kind contract (PR 3/4/6): the
+// remote protocol ships typed scheduler errors as error_kind strings, and
+// the contract only holds when (1) every kind the server encodes is
+// rebuilt by the client decoder and vice versa — no orphan strings — and
+// (2) every exported error sentinel in a package that participates in the
+// wire protocol has a kind in both directions, so errors.Is keeps working
+// across the machine boundary.
+//
+// Detection is structural, so fixtures and future packages participate
+// without configuration:
+//
+//   - an encoder is a function taking an error and returning a string;
+//     its returned string literals are encoded kinds, and the sentinels in
+//     its errors.Is calls are wire-encoded sentinels. Assignments of a
+//     string literal to an ErrorKind struct field also encode a kind.
+//   - a decoder is a function taking strings and returning an error that
+//     switches on a string parameter; its case literals are decoded
+//     kinds, and the Err* identifiers inside the cases are wire-decoded
+//     sentinels.
+//   - a package participates in the sentinel check when at least one of
+//     its exported Err* package-level vars is wire-encoded or -decoded
+//     (alias declarations like `var ErrX = other.ErrY` resolve to the
+//     aliased sentinel). Every sentinel of a participating package must
+//     then appear on both sides.
+package wirekind
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mqsspulse/tools/mqssvet/analysis"
+)
+
+// Analyzer is the wirekind check.
+var Analyzer = &analysis.Analyzer{
+	Name:   "wirekind",
+	Doc:    "error_kind strings must encode and decode symmetrically, and every wire-facing sentinel needs a kind in both directions",
+	Run:    run,
+	Finish: finish,
+}
+
+// sentinelDecl is one exported package-level Err* variable.
+type sentinelDecl struct {
+	key     string // pkgpath.Name
+	aliasOf string // key of the sentinel it aliases, "" when declared fresh
+	name    string
+	pos     token.Pos
+}
+
+// result is one package's contribution to the whole-program join.
+type result struct {
+	encoded     map[string]token.Pos // kind → first encode site
+	decoded     map[string]token.Pos // kind → first decode site
+	encodedRefs map[string]token.Pos // sentinel key → errors.Is site in an encoder
+	decodedRefs map[string]token.Pos // sentinel key → rebuild site in a decoder
+	sentinels   []sentinelDecl
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	res := &result{
+		encoded: map[string]token.Pos{}, decoded: map[string]token.Pos{},
+		encodedRefs: map[string]token.Pos{}, decodedRefs: map[string]token.Pos{},
+	}
+	for _, file := range pass.Files {
+		collectSentinels(pass, file, res)
+		collectFieldKinds(pass, file, res)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if isEncoder(pass, fn) {
+				collectEncoder(pass, fn, res)
+			}
+			if isDecoder(pass, fn) {
+				collectDecoder(pass, fn, res)
+			}
+		}
+	}
+	if len(res.encoded)+len(res.decoded)+len(res.sentinels) == 0 {
+		return nil, nil
+	}
+	return res, nil
+}
+
+// objKey names a package-level object uniquely across the program.
+func objKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// collectSentinels records exported package-level Err* vars and their
+// alias structure.
+func collectSentinels(pass *analysis.Pass, file *ast.File, res *result) {
+	for _, decl := range file.Decls {
+		gen, ok := decl.(*ast.GenDecl)
+		if !ok || gen.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gen.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if !name.IsExported() || !strings.HasPrefix(name.Name, "Err") {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[name]
+				if obj == nil || !isErrorType(obj.Type()) {
+					continue
+				}
+				sd := sentinelDecl{key: objKey(obj), name: name.Name, pos: name.Pos()}
+				if i < len(vs.Values) {
+					if target := refObj(pass, vs.Values[i]); target != nil && target != obj {
+						sd.aliasOf = objKey(target)
+					}
+				}
+				res.sentinels = append(res.sentinels, sd)
+			}
+		}
+	}
+}
+
+// isErrorType reports whether t implements error.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+		return true
+	}
+	iface, ok := t.Underlying().(*types.Interface)
+	if ok {
+		for i := 0; i < iface.NumMethods(); i++ {
+			if iface.Method(i).Name() == "Error" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// refObj resolves an identifier or selector expression to its object.
+func refObj(pass *analysis.Pass, expr ast.Expr) types.Object {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}
+
+// collectFieldKinds records string literals assigned to an ErrorKind
+// struct field — composite-literal keys and plain assignments both count
+// as encoding a kind on the wire.
+func collectFieldKinds(pass *analysis.Pass, file *ast.File, res *result) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.KeyValueExpr:
+			if key, ok := n.Key.(*ast.Ident); ok && key.Name == "ErrorKind" {
+				if kind, ok := stringLit(n.Value); ok && kind != "" {
+					setFirst(res.encoded, kind, n.Value.Pos())
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "ErrorKind" || i >= len(n.Rhs) {
+					continue
+				}
+				if kind, ok := stringLit(n.Rhs[i]); ok && kind != "" {
+					setFirst(res.encoded, kind, n.Rhs[i].Pos())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isEncoder matches func(…error…) string.
+func isEncoder(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	sig, ok := fnSig(pass, fn)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	if basic, ok := sig.Results().At(0).Type().(*types.Basic); !ok || basic.Kind() != types.String {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isErrorType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isDecoder matches func(…string…) error with a switch on a string param.
+func isDecoder(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	sig, ok := fnSig(pass, fn)
+	if !ok || sig.Results().Len() != 1 || !isErrorType(sig.Results().At(0).Type()) {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if basic, ok := sig.Params().At(i).Type().(*types.Basic); ok && basic.Kind() == types.String {
+			return true
+		}
+	}
+	return false
+}
+
+func fnSig(pass *analysis.Pass, fn *ast.FuncDecl) (*types.Signature, bool) {
+	obj := pass.TypesInfo.Defs[fn.Name]
+	if obj == nil {
+		return nil, false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	return sig, ok
+}
+
+// collectEncoder records the kinds an encoder returns and the sentinels
+// its errors.Is calls classify.
+func collectEncoder(pass *analysis.Pass, fn *ast.FuncDecl, res *result) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if kind, ok := stringLit(r); ok && kind != "" {
+					setFirst(res.encoded, kind, r.Pos())
+				}
+			}
+		case *ast.CallExpr:
+			if obj := sentinelArgOfErrorsIs(pass, n); obj != nil {
+				setFirst(res.encodedRefs, objKey(obj), n.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// sentinelArgOfErrorsIs returns the target sentinel of errors.Is(err, X).
+func sentinelArgOfErrorsIs(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Is" || len(call.Args) != 2 {
+		return nil
+	}
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pkgName, ok := pass.TypesInfo.Uses[pkgIdent].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "errors" {
+		return nil
+	}
+	return refObj(pass, call.Args[1])
+}
+
+// collectDecoder records the kinds a decoder switches on and the
+// sentinels each case rebuilds.
+func collectDecoder(pass *analysis.Pass, fn *ast.FuncDecl, res *result) {
+	stringParams := map[types.Object]bool{}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				if basic, ok := obj.Type().(*types.Basic); ok && basic.Kind() == types.String {
+					stringParams[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		tag, ok := sw.Tag.(*ast.Ident)
+		if !ok || !stringParams[pass.TypesInfo.Uses[tag]] {
+			return true
+		}
+		if !isDecodeSwitch(pass, sw) {
+			return true
+		}
+		for _, clause := range sw.Body.List {
+			cc, ok := clause.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, expr := range cc.List {
+				if kind, ok := stringLit(expr); ok && kind != "" {
+					setFirst(res.decoded, kind, expr.Pos())
+				}
+			}
+			for _, stmt := range cc.Body {
+				ast.Inspect(stmt, func(m ast.Node) bool {
+					expr, ok := m.(ast.Expr)
+					if !ok {
+						return true
+					}
+					if obj := refObj(pass, expr); obj != nil &&
+						strings.HasPrefix(obj.Name(), "Err") && isErrorType(obj.Type()) {
+						setFirst(res.decodedRefs, objKey(obj), m.Pos())
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+}
+
+// isDecodeSwitch separates a wire-kind decode switch from an ordinary
+// string dispatch (a gate-name switch also lives in a func(string…) error):
+// in a decoder every labeled case body is a single return that builds the
+// error value, and at least one case rebuilds an Err* sentinel. Dispatch
+// switches do real work in their cases and fail the single-return shape.
+func isDecodeSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) bool {
+	sentinelSeen := false
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			continue // default case may do anything
+		}
+		if len(cc.Body) != 1 {
+			return false
+		}
+		ret, ok := cc.Body[0].(*ast.ReturnStmt)
+		if !ok {
+			return false
+		}
+		ast.Inspect(ret, func(n ast.Node) bool {
+			expr, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if obj := refObj(pass, expr); obj != nil &&
+				strings.HasPrefix(obj.Name(), "Err") && isErrorType(obj.Type()) {
+				sentinelSeen = true
+			}
+			return true
+		})
+	}
+	return sentinelSeen
+}
+
+func stringLit(expr ast.Expr) (string, bool) {
+	lit, ok := expr.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	return s, err == nil
+}
+
+func setFirst(m map[string]token.Pos, k string, pos token.Pos) {
+	if _, ok := m[k]; !ok {
+		m[k] = pos
+	}
+}
+
+// finish joins the per-package results: orphan kind strings and
+// uncovered sentinels are whole-program properties.
+func finish(pass *analysis.FinishPass) {
+	encoded := map[string]token.Pos{}
+	decoded := map[string]token.Pos{}
+	encodedRefs := map[string]token.Pos{}
+	decodedRefs := map[string]token.Pos{}
+	alias := map[string]string{}
+	byPkg := map[string][]sentinelDecl{}
+
+	var paths []string
+	for p := range pass.Results {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		res := pass.Results[p].(*result)
+		mergeFirst(encoded, res.encoded)
+		mergeFirst(decoded, res.decoded)
+		mergeFirst(encodedRefs, res.encodedRefs)
+		mergeFirst(decodedRefs, res.decodedRefs)
+		for _, sd := range res.sentinels {
+			byPkg[p] = append(byPkg[p], sd)
+			if sd.aliasOf != "" {
+				alias[sd.key] = sd.aliasOf
+			}
+		}
+	}
+	resolve := func(key string) string {
+		for i := 0; i < 16; i++ { // cycle guard
+			next, ok := alias[key]
+			if !ok {
+				return key
+			}
+			key = next
+		}
+		return key
+	}
+	resolvedSet := func(refs map[string]token.Pos) map[string]bool {
+		out := map[string]bool{}
+		for k := range refs {
+			out[resolve(k)] = true
+		}
+		return out
+	}
+	encSet := resolvedSet(encodedRefs)
+	decSet := resolvedSet(decodedRefs)
+
+	// Orphan kinds: encoded but never decoded, and vice versa.
+	for _, kind := range sortedKeys(encoded) {
+		if _, ok := decoded[kind]; !ok {
+			pass.Reportf(encoded[kind],
+				"error_kind %q is encoded but no decoder rebuilds it; remote callers lose the typed error", kind)
+		}
+	}
+	for _, kind := range sortedKeys(decoded) {
+		if _, ok := encoded[kind]; !ok {
+			pass.Reportf(decoded[kind],
+				"error_kind %q is decoded but nothing encodes it; the case is dead wire surface", kind)
+		}
+	}
+
+	// Sentinel coverage in participating packages.
+	for _, p := range sortedPkgKeys(byPkg) {
+		decls := byPkg[p]
+		participates := false
+		for _, sd := range decls {
+			r := resolve(sd.key)
+			if encSet[r] || decSet[r] {
+				participates = true
+				break
+			}
+		}
+		if !participates {
+			continue
+		}
+		for _, sd := range decls {
+			r := resolve(sd.key)
+			if !encSet[r] {
+				pass.Reportf(sd.pos,
+					"sentinel %s has no error_kind encoding; a wire round trip erases its type", sd.name)
+			}
+			if !decSet[r] {
+				pass.Reportf(sd.pos,
+					"sentinel %s is never rebuilt by a wire decoder; errors.Is fails on remote errors", sd.name)
+			}
+		}
+	}
+}
+
+func mergeFirst(dst, src map[string]token.Pos) {
+	for k, pos := range src {
+		setFirst(dst, k, pos)
+	}
+}
+
+func sortedKeys(m map[string]token.Pos) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedPkgKeys(m map[string][]sentinelDecl) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

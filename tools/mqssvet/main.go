@@ -1,0 +1,128 @@
+// Command mqssvet is the stack's static-analysis entry point: a
+// multichecker that enforces the cross-layer invariants accumulated over
+// PRs 3-8 — wire error-kind symmetry, telemetry span lifecycles,
+// calibration-epoch bumps, byte-determinism of the lowering pipeline,
+// context plumbing, hot-loop allocation discipline, and doc-comment
+// coverage. It is the one CI lint step:
+//
+//	go run ./tools/mqssvet ./...
+//
+// Unless -novet is given it also runs `go vet` over the same patterns so
+// the standard analyzers ride in the same invocation. Findings can be
+// suppressed line-by-line with //lint:mqssvet disable=<name> comments;
+// see tools/mqssvet/analysis for the contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"mqsspulse/tools/mqssvet/analysis"
+	"mqsspulse/tools/mqssvet/analyzers/ctxflow"
+	"mqsspulse/tools/mqssvet/analyzers/doccomment"
+	"mqsspulse/tools/mqssvet/analyzers/epochbump"
+	"mqsspulse/tools/mqssvet/analyzers/hotalloc"
+	"mqsspulse/tools/mqssvet/analyzers/nodrift"
+	"mqsspulse/tools/mqssvet/analyzers/spanend"
+	"mqsspulse/tools/mqssvet/analyzers/wirekind"
+)
+
+// suite is every analyzer the multichecker knows, in report order.
+var suite = []*analysis.Analyzer{
+	wirekind.Analyzer,
+	spanend.Analyzer,
+	epochbump.Analyzer,
+	nodrift.Analyzer,
+	ctxflow.Analyzer,
+	hotalloc.Analyzer,
+	doccomment.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	novet := flag.Bool("novet", false, "skip the go vet pass")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mqssvet [flags] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mqssvet:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, fset, err := analysis.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mqssvet: load:", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(fset, pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Printf("%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+
+	vetFailed := false
+	if !*novet {
+		vetFailed = !runGoVet(patterns)
+	}
+
+	if len(diags) > 0 || vetFailed {
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -only flag against the suite.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return suite, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var picked []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}
+
+// runGoVet runs the standard vet analyzers over the same patterns so CI
+// needs only one lint entry point. Returns true on a clean pass.
+func runGoVet(patterns []string) bool {
+	cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if _, ok := err.(*exec.ExitError); ok {
+			return false
+		}
+		fmt.Fprintln(os.Stderr, "mqssvet: go vet:", err)
+		return false
+	}
+	return true
+}

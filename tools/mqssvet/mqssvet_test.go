@@ -1,0 +1,83 @@
+package main
+
+import (
+	"testing"
+
+	"mqsspulse/tools/mqssvet/analysis/analysistest"
+	"mqsspulse/tools/mqssvet/analyzers/ctxflow"
+	"mqsspulse/tools/mqssvet/analyzers/doccomment"
+	"mqsspulse/tools/mqssvet/analyzers/epochbump"
+	"mqsspulse/tools/mqssvet/analyzers/hotalloc"
+	"mqsspulse/tools/mqssvet/analyzers/nodrift"
+	"mqsspulse/tools/mqssvet/analyzers/spanend"
+	"mqsspulse/tools/mqssvet/analyzers/wirekind"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/ctxflow", ctxflow.Analyzer)
+}
+
+func TestNodrift(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/nodrift", nodrift.Analyzer)
+}
+
+func TestSpanend(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/spanend", spanend.Analyzer)
+}
+
+func TestEpochbump(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/epochbump", epochbump.Analyzer)
+}
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/hotalloc", hotalloc.Analyzer)
+}
+
+func TestDoccomment(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/doccomment", doccomment.Analyzer)
+}
+
+// TestWirekindCovered pins the negative case: full both-direction coverage
+// (including through the ErrBusy alias) stays silent.
+func TestWirekindCovered(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/wirekind", wirekind.Analyzer)
+}
+
+// TestWirekindOrphans is the orphan regression: encoded-never-decoded,
+// decoded-never-encoded, and sentinels missing a direction.
+func TestWirekindOrphans(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/wirekindorphan", wirekind.Analyzer)
+}
+
+// TestSuppression pins the //lint:mqssvet contract end to end: a matching
+// disable silences the finding, a mismatched name does not.
+func TestSuppression(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/suppress", ctxflow.Analyzer)
+}
+
+// TestSuiteListsAllAnalyzers guards the multichecker registration: a new
+// analyzer package that never lands in the suite would silently not run.
+func TestSuiteListsAllAnalyzers(t *testing.T) {
+	want := []string{"wirekind", "spanend", "epochbump", "nodrift", "ctxflow", "hotalloc", "doccomment"}
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, name := range want {
+		if suite[i].Name != name {
+			t.Errorf("suite[%d] = %s, want %s", i, suite[i].Name, name)
+		}
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	picked, err := selectAnalyzers("spanend,ctxflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 2 || picked[0].Name != "spanend" || picked[1].Name != "ctxflow" {
+		t.Fatalf("picked = %v", picked)
+	}
+	if _, err := selectAnalyzers("nosuch"); err == nil {
+		t.Fatal("unknown analyzer did not error")
+	}
+}

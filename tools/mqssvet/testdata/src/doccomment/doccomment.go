@@ -1,0 +1,34 @@
+package doccomment // want "package doccomment lacks a package comment"
+
+// Documented is fine.
+func Documented() {}
+
+func Undocumented() {} // want "exported function Undocumented lacks a doc comment"
+
+func internal() {}
+
+// Widget is documented.
+type Widget struct{}
+
+// Name is documented.
+func (Widget) Name() string { return "w" }
+
+func (Widget) Kind() string { return "k" } // want "exported method Widget.Kind lacks a doc comment"
+
+type gadget struct{}
+
+func (gadget) Render() string { return "" }
+
+type Gizmo struct { // want "exported type Gizmo lacks a doc comment"
+	Size int
+}
+
+// Grouped constants share the group comment.
+const (
+	ModeA = iota
+	ModeB
+)
+
+var Loose = []int{ // want "exported var Loose lacks a doc comment"
+	1,
+}

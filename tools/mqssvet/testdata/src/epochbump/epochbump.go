@@ -1,0 +1,49 @@
+// Package epochbump is the epochbump analyzer fixture.
+package epochbump
+
+// device models a calibration-bearing device.
+type device struct {
+	freqHz []float64      //mqss:calibrated
+	piAmp  []float64      //mqss:calibrated
+	pulses map[string]int //mqss:calibrated
+	epoch  int64          //mqss:epoch
+}
+
+// GoodSetter bumps in the same operation.
+func (d *device) GoodSetter(site int, f float64) {
+	d.freqHz[site] = f
+	d.epoch++
+}
+
+// GoodTransitive bumps through a helper.
+func (d *device) GoodTransitive(site int, a float64) {
+	d.piAmp[site] = a
+	d.bump()
+}
+
+func (d *device) bump() { d.epoch++ }
+
+// BadSetter mutates calibration without bumping.
+func (d *device) BadSetter(site int, f float64) {
+	d.freqHz[site] = f // want "BadSetter writes calibrated field device.freqHz without bumping epoch"
+}
+
+// BadDelete clears a calibrated map without bumping.
+func (d *device) BadDelete(name string) {
+	delete(d.pulses, name) // want "BadDelete writes calibrated field device.pulses without bumping epoch"
+}
+
+// GoodConstructor sets the epoch in the composite literal.
+func GoodConstructor(n int) *device {
+	return &device{
+		freqHz: make([]float64, n),
+		piAmp:  make([]float64, n),
+		pulses: map[string]int{},
+		epoch:  1,
+	}
+}
+
+// unepoched has calibration state but no counter to bump.
+type unepoched struct { // want "unepoched has //mqss:calibrated fields but no //mqss:epoch counter field"
+	gain float64 //mqss:calibrated
+}

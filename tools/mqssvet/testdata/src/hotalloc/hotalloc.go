@@ -1,0 +1,67 @@
+// Package hotalloc is the hotalloc analyzer fixture.
+package hotalloc
+
+import "fmt"
+
+// Setup allocates freely: it is not marked.
+func Setup(n int) []float64 {
+	return make([]float64, n)
+}
+
+// Step is the steady-state inner loop.
+//
+//mqss:hotloop
+func Step(dst, src []float64, k float64) {
+	for i := range src {
+		dst[i] = src[i] * k
+	}
+}
+
+// BadAppend grows a slice per call.
+//
+//mqss:hotloop
+func BadAppend(dst, src []float64) []float64 {
+	return append(dst, src...) // want "append in //mqss:hotloop function BadAppend allocates"
+}
+
+// BadMake allocates scratch per call.
+//
+//mqss:hotloop
+func BadMake(n int) {
+	buf := make([]float64, n) // want "make in //mqss:hotloop function BadMake allocates"
+	_ = buf
+}
+
+// BadLiteral builds a composite value per call.
+//
+//mqss:hotloop
+func BadLiteral(x float64) {
+	p := point{x, x} // want "composite literal in //mqss:hotloop function BadLiteral allocates"
+	_ = p
+}
+
+// BadFmt formats in the hot path.
+//
+//mqss:hotloop
+func BadFmt(x float64) {
+	fmt.Println(x) // want "fmt.Println in //mqss:hotloop function BadFmt allocates"
+}
+
+// BadConcat builds strings per call.
+//
+//mqss:hotloop
+func BadConcat(a, b string) string {
+	return a + b // want "string concatenation in //mqss:hotloop function BadConcat allocates"
+}
+
+// BadClosure captures per call.
+//
+//mqss:hotloop
+func BadClosure(xs []float64) {
+	f := func(v float64) float64 { return v } // want "closure literal in //mqss:hotloop function BadClosure allocates"
+	for i := range xs {
+		xs[i] = f(xs[i])
+	}
+}
+
+type point struct{ x, y float64 }

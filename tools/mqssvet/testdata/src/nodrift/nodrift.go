@@ -1,0 +1,74 @@
+// Package nodrift is the nodrift analyzer fixture; the marker below opts
+// it into the byte-determinism contract.
+package nodrift
+
+//mqss:deterministic
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Clock leaks wall-clock time into deterministic output.
+func Clock() int64 {
+	return time.Now().Unix() // want "time.Now in a byte-deterministic package"
+}
+
+// GlobalRand draws from the shared process source.
+func GlobalRand() int {
+	return rand.Intn(10) // want "global math/rand.Intn"
+}
+
+// StreamRand builds an explicit stream, which is fine.
+func StreamRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// UnsortedKeys records map iteration order.
+func UnsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "appending to keys while ranging over a map"
+	}
+	return keys
+}
+
+// SortedKeys collects then sorts — the sanctioned idiom.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ConcatOrder folds map order into a string.
+func ConcatOrder(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want "concatenating onto s while ranging over a map"
+	}
+	return s
+}
+
+// BuilderOrder feeds map order into an accumulator.
+func BuilderOrder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "b.WriteString while ranging over a map"
+	}
+	return b.String()
+}
+
+// KeyedWrite builds another map, which is order-independent.
+func KeyedWrite(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+// Package spanend is the spanend analyzer fixture. The local span type
+// stands in for telemetry.ActiveSpan: any x.StartSpan whose result has an
+// End method participates.
+package spanend
+
+import "errors"
+
+type tracer struct{}
+
+type span struct{}
+
+func (*span) End() {}
+
+func (*span) ID() string { return "s" }
+
+func (tracer) StartSpan(stage string) *span { return &span{} }
+
+var errBoom = errors.New("boom")
+
+// GoodDefer ends via defer.
+func GoodDefer(t tracer) error {
+	s := t.StartSpan("work")
+	defer s.End()
+	return doWork()
+}
+
+// GoodAllPaths ends before every return.
+func GoodAllPaths(t tracer, fail bool) error {
+	s := t.StartSpan("work")
+	if fail {
+		s.End()
+		return errBoom
+	}
+	s.End()
+	return nil
+}
+
+// GoodDominating ends once before the branch.
+func GoodDominating(t tracer, fail bool) error {
+	s := t.StartSpan("work")
+	err := doWork()
+	s.End()
+	if fail {
+		return errBoom
+	}
+	return err
+}
+
+// BadDiscard throws the span away.
+func BadDiscard(t tracer) {
+	_ = t.StartSpan("work") // want "span from StartSpan is discarded"
+}
+
+// BadNeverEnded starts and forgets.
+func BadNeverEnded(t tracer) error {
+	s := t.StartSpan("work") // want "span s is started but never ended"
+	_ = s.ID()
+	return doWork()
+}
+
+// BadErrorPath ends on success only — the classic leak.
+func BadErrorPath(t tracer, fail bool) error {
+	s := t.StartSpan("work")
+	if fail {
+		return errBoom // want "return without ending span s"
+	}
+	s.End()
+	return nil
+}
+
+// GoodEscapes hands the span to a caller, transferring ownership.
+func GoodEscapes(t tracer) *span {
+	s := t.StartSpan("work")
+	return s
+}
+
+// GoodArgUse passes a derived value, not the span itself.
+func GoodArgUse(t tracer) error {
+	s := t.StartSpan("work")
+	defer s.End()
+	return record(s.ID())
+}
+
+func doWork() error { return nil }
+
+func record(string) error { return nil }

@@ -1,0 +1,29 @@
+// Package suppress pins the //lint:mqssvet suppression contract: a
+// disable comment on the diagnostic's line or the line above silences
+// exactly the named analyzers.
+package suppress
+
+import "context"
+
+// Tuned detaches deliberately; the suppression keeps mqssvet quiet.
+func Tuned() error {
+	//lint:mqssvet disable=ctxflow fixture: deliberate detach
+	ctx := context.Background()
+	_ = ctx
+	return nil
+}
+
+// WrongName suppresses a different analyzer, so the finding survives.
+func WrongName() error {
+	//lint:mqssvet disable=nodrift fixture: mismatched name
+	ctx := context.Background() // want "context.Background\\(\\) in library code"
+	_ = ctx
+	return nil
+}
+
+// Untuned has no suppression at all.
+func Untuned() error {
+	ctx := context.Background() // want "context.Background\\(\\) in library code"
+	_ = ctx
+	return nil
+}

@@ -1,0 +1,36 @@
+// Package wirekind is the wirekind negative fixture: every sentinel has a
+// kind in both directions and every kind round-trips, so the analyzer
+// stays silent.
+package wirekind
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrOverloaded signals scheduler backpressure.
+	ErrOverloaded = errors.New("overloaded")
+	// ErrBusy is the historical alias; coverage resolves through it.
+	ErrBusy = ErrOverloaded
+)
+
+// errorKind classifies err for the wire.
+func errorKind(err error) string {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	default:
+		return ""
+	}
+}
+
+// errorFromWire rebuilds the typed error.
+func errorFromWire(kind, msg string) error {
+	switch kind {
+	case "overloaded":
+		return fmt.Errorf("%w: %s", ErrOverloaded, msg)
+	default:
+		return errors.New(msg)
+	}
+}

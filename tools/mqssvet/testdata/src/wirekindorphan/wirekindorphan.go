@@ -1,0 +1,42 @@
+// Package wirekindorphan is the wirekind regression fixture: an encoded
+// kind no decoder rebuilds, a decoded kind nothing encodes, and sentinels
+// missing one or both directions.
+package wirekindorphan
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrKept round-trips and keeps the package participating.
+	ErrKept = errors.New("kept")
+	// ErrLost is classified for the wire but never rebuilt.
+	ErrLost = errors.New("lost") // want "sentinel ErrLost is never rebuilt by a wire decoder"
+	// ErrOrphan is on neither side of the wire.
+	ErrOrphan = errors.New("orphan") // want "sentinel ErrOrphan has no error_kind encoding" "sentinel ErrOrphan is never rebuilt by a wire decoder"
+)
+
+// errorKind classifies err for the wire.
+func errorKind(err error) string {
+	switch {
+	case errors.Is(err, ErrKept):
+		return "kept"
+	case errors.Is(err, ErrLost):
+		return "lost" // want "error_kind \"lost\" is encoded but no decoder rebuilds it"
+	default:
+		return ""
+	}
+}
+
+// errorFromWire rebuilds the typed error.
+func errorFromWire(kind, msg string) error {
+	switch kind {
+	case "kept":
+		return fmt.Errorf("%w: %s", ErrKept, msg)
+	case "ghost": // want "error_kind \"ghost\" is decoded but nothing encodes it"
+		return errors.New(msg)
+	default:
+		return errors.New(msg)
+	}
+}
