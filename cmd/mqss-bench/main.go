@@ -23,6 +23,7 @@ import (
 	"mqsspulse/internal/simq"
 	"mqsspulse/internal/telemetry"
 	"mqsspulse/internal/waveform"
+	"mqsspulse/tools/mqssvet/suite"
 )
 
 // benchEntry is one machine-readable benchmark record of the -json report.
@@ -34,7 +35,8 @@ type benchEntry struct {
 }
 
 // benchReport is the -json report document: the sweep, evolve, fleet,
-// telemetry, and shot-parallel experiments plus derived ratios.
+// telemetry, shot-parallel, and static-analysis experiments plus
+// derived ratios.
 type benchReport struct {
 	Points      int                `json:"points"`
 	Experiments []benchEntry       `json:"experiments"`
@@ -158,6 +160,25 @@ func shotsEntries() ([]benchEntry, map[string]float64, error) {
 	}, nil
 }
 
+// mqssvetEntry times one full-repo static-analysis pass — loader, all
+// CFG-backed analyzers, cross-package Finish joins — as a single wall-
+// time sample rather than a testing.Benchmark loop (one op costs
+// seconds; looping it buys no precision worth the CI minutes). It keeps
+// the lint step's latency an explicit, gated number instead of a slowly
+// rotting line item in the CI log.
+func mqssvetEntry() (benchEntry, error) {
+	start := time.Now()
+	diags, _, err := suite.Analyze(".", []string{"./..."})
+	if err != nil {
+		return benchEntry{}, fmt.Errorf("mqssvet_full_repo: %w", err)
+	}
+	_ = diags // findings are CI's business; here only the duration matters
+	return benchEntry{
+		Name:    "mqssvet_full_repo",
+		NsPerOp: float64(time.Since(start).Nanoseconds()),
+	}, nil
+}
+
 // writeBenchJSON runs every -json experiment and writes the folded report
 // to path.
 func writeBenchJSON(path string) error {
@@ -166,7 +187,7 @@ func writeBenchJSON(path string) error {
 	if err != nil {
 		return err
 	}
-	for _, f := range []func() (benchEntry, error){evolveEntry, fleetEntry, telemetryEntry} {
+	for _, f := range []func() (benchEntry, error){evolveEntry, fleetEntry, telemetryEntry, mqssvetEntry} {
 		e, err := f()
 		if err != nil {
 			return err
@@ -206,8 +227,8 @@ func main() {
 	exp := flag.String("exp", "", "run a single experiment by ID (e.g. EXP-F1)")
 	list := flag.Bool("list", false, "list experiment IDs")
 	jsonOut := flag.Bool("json", false,
-		"benchmark the sweep, evolve, fleet, telemetry, and shot-parallel paths and write a machine-readable report")
-	out := flag.String("out", "BENCH_8.json", "output path for the -json report")
+		"benchmark the sweep, evolve, fleet, telemetry, shot-parallel, and mqssvet paths and write a machine-readable report")
+	out := flag.String("out", "BENCH_9.json", "output path for the -json report")
 	flag.Parse()
 
 	ids := []string{"EXP-F1", "EXP-F2", "EXP-F3", "EXP-L1", "EXP-L2", "EXP-L3",

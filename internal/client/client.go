@@ -59,7 +59,7 @@ type Client struct {
 	// into the QRM at construction).
 	telem *telemetry.Registry
 
-	mu sync.Mutex
+	mu sync.Mutex //mqss:lockrank 10
 	// loweringCache memoizes compiled payloads keyed by (device, kernel
 	// fingerprint); ablation benchmarks toggle it. It is a bounded LRU
 	// (cacheLimit entries; lruList front = most recently used), and every
@@ -543,12 +543,20 @@ func (c *Client) SubmitBatch(ctx context.Context, kernels []*qpi.Circuit, device
 		wg.Add(1)
 		go func(i int, k *qpi.Circuit) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = fmt.Errorf("client: batch: %w", ctx.Err())
+				return
+			}
 			defer func() { <-sem }()
 			tickets[i], errs[i] = c.SubmitCtx(ctx, k, device, opts)
 		}(i, k)
 	}
-	wg.Wait()
+	// Every worker exits on ctx.Done before acquiring the semaphore, and
+	// SubmitCtx is itself ctx-bounded, so this Wait is bounded by
+	// cancellation and cannot be selected on.
+	wg.Wait() //lint:mqssvet disable=ctxcancel workers exit on ctx.Done, so the Wait is ctx-bounded
 	return tickets, errs
 }
 

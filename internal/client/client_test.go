@@ -11,10 +11,12 @@ import (
 	"mqsspulse/internal/devices"
 	"mqsspulse/internal/qdmi"
 	"mqsspulse/internal/qpi"
+	"mqsspulse/internal/testutil"
 )
 
 func testStack(t *testing.T) (*Client, *devices.SimDevice) {
 	t.Helper()
+	testutil.AssertNoLeaks(t)
 	dev, err := devices.Superconducting("hpcqc-sc", 2, 31)
 	if err != nil {
 		t.Fatal(err)

@@ -9,12 +9,16 @@ import (
 	"mqsspulse/internal/qdmi"
 	"mqsspulse/internal/qpi"
 	"mqsspulse/internal/qrm"
+	"mqsspulse/internal/testutil"
 )
 
 // fleetClient builds a client over n identical simulators dev-0..dev-(n-1)
-// registered as pool "sims".
+// registered as pool "sims". Every fleet test also asserts its workers
+// are gone after Close — registered first, so the check runs after the
+// Close cleanup.
 func fleetClient(t *testing.T, n int) *Client {
 	t.Helper()
+	testutil.AssertNoLeaks(t)
 	drv := qdmi.NewDriver()
 	names := make([]string, n)
 	for i := 0; i < n; i++ {

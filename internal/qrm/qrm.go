@@ -150,7 +150,7 @@ type MaintenanceHook func(dev qdmi.Device) error
 type Scheduler struct {
 	session *qdmi.Session
 
-	mu sync.Mutex
+	mu sync.Mutex //mqss:lockrank 20
 	// cond is the fleet-wide wakeup: workers wait here for new work and
 	// every submission Broadcasts. Waking all idle workers is O(devices ×
 	// slots) per submit, but only idle workers are parked here — a busy

@@ -26,7 +26,7 @@ type Ticket struct {
 	ctx       context.Context
 	cancelCtx context.CancelFunc
 
-	mu     sync.Mutex
+	mu     sync.Mutex //mqss:lockrank 30
 	status qdmi.JobStatus
 	device string // set at dispatch: the device the job was placed on
 	result *qdmi.Result

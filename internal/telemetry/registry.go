@@ -140,7 +140,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 // only writer-side aggregation. All methods are nil-receiver safe, so
 // uninstrumented components may hold a nil *Registry.
 type Registry struct {
-	mu       sync.RWMutex
+	mu       sync.RWMutex //mqss:lockrank 50
 	counters map[string]*atomic.Int64
 	hists    map[string]*Histogram
 }

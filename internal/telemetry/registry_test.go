@@ -6,11 +6,14 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"mqsspulse/internal/testutil"
 )
 
 // TestRegistryConcurrentHammer drives counters and histograms from many
 // goroutines (run under -race in CI) and checks nothing is lost.
 func TestRegistryConcurrentHammer(t *testing.T) {
+	testutil.AssertNoLeaks(t)
 	reg := NewRegistry()
 	const workers = 8
 	const perWorker = 2000

@@ -113,7 +113,7 @@ type Timeline struct {
 	traceID string
 	reg     *Registry
 
-	mu     sync.Mutex
+	mu     sync.Mutex //mqss:lockrank 40
 	nextID SpanID
 	spans  []Span
 }

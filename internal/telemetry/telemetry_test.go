@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"mqsspulse/internal/testutil"
 )
 
 // TestTimelineRecordAndOrder checks spans come back ordered by start time
@@ -89,6 +91,7 @@ func TestActiveSpanParentBeforeEnd(t *testing.T) {
 // under -race in CI): per-job timelines are shared between the submitting
 // goroutine, the scheduler worker, and the device goroutine.
 func TestTimelineConcurrent(t *testing.T) {
+	testutil.AssertNoLeaks(t)
 	tl := NewTimeline("", NewRegistry())
 	const workers = 8
 	const perWorker = 500

@@ -1,0 +1,40 @@
+// Package testutil holds helpers shared by the stack's test suites.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleTimeout bounds how long AssertNoLeaks waits for goroutines spun
+// up by the test to unwind after shutdown before declaring a leak.
+const settleTimeout = 2 * time.Second
+
+// AssertNoLeaks snapshots the goroutine count and registers a cleanup
+// that verifies the count settled back to the snapshot once the test —
+// including later-registered cleanups such as a Stack's Close — has
+// finished. Call it before constructing the stack under test, so the
+// check runs after the shutdown cleanup (t.Cleanup order is LIFO).
+// Exiting goroutines are given settleTimeout to unwind; a count still
+// above the snapshot after that fails the test with a full stack dump,
+// which is what turns a fleet-worker or telemetry-registry leak from a
+// slow CI mystery into a named goroutine with a line number.
+func AssertNoLeaks(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(settleTimeout)
+		after := runtime.NumGoroutine()
+		for after > before && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			after = runtime.NumGoroutine()
+		}
+		if after > before {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Errorf("goroutine leak: %d goroutines before the test, %d after shutdown; stacks:\n%s",
+				before, after, buf[:n])
+		}
+	})
+}

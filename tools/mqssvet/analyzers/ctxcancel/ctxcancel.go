@@ -1,0 +1,300 @@
+// Package ctxcancel closes the gap ctxflow's signature-only check leaves
+// (PR 9): taking a ctx parameter means nothing if the function then
+// parks on a channel or a sync.WaitGroup/sync.Cond the cancellation can
+// never unblock. In a function that takes a context.Context — and in the
+// function literals it spawns, which capture that ctx — every blocking
+// operation must be cancellable:
+//
+//   - a channel send, and a channel receive that is not itself a
+//     cancellation signal (x.Done(), or any chan struct{} — the stack's
+//     done/quit/semaphore shape), must sit inside a select that also has
+//     a <-….Done() case or a default;
+//   - a select without default must carry a <-….Done() (or chan
+//     struct{}) case;
+//   - sync.WaitGroup.Wait and sync.Cond.Wait are flagged outright — they
+//     cannot be selected on; the fix is a .Wait(ctx)-shaped helper (a
+//     Wait that takes the ctx, like qrm.Ticket.Wait) or a completion
+//     channel.
+//
+// The check is interprocedural through the package call graph: a helper
+// without a ctx parameter that blocks unguardedly is reported at its
+// call site inside the ctx-taking function, because that is where the
+// cancellation contract was accepted and broken.
+package ctxcancel
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mqsspulse/tools/mqssvet/analysis"
+	"mqsspulse/tools/mqssvet/cfg"
+)
+
+// Analyzer is the ctxcancel check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxcancel",
+	Doc:  "blocking channel ops and sync Waits in ctx-taking functions must be cancellable (select with <-ctx.Done() or a Wait(ctx) helper)",
+	Run:  run,
+}
+
+// callerDepth bounds the call-graph walk from a ctx-taking entry point
+// into same-package helpers.
+const callerDepth = 3
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil // commands may block on their own lifecycle
+	}
+	graph := cfg.BuildCallGraph(pass.Files, pass.TypesInfo)
+
+	// blocking ops of every declared function, computed once.
+	ops := map[*types.Func][]blockingOp{}
+	for fn, decl := range graph.Decls {
+		ops[fn] = collectBlocking(pass, decl.Body)
+	}
+
+	for fn, decl := range graph.Decls {
+		if !takesCtx(pass, decl) {
+			continue
+		}
+		// Direct findings: the ctx-taking function's own unguarded ops.
+		for _, op := range ops[fn] {
+			pass.Reportf(op.pos, "%s in ctx-taking function %s is not cancellable; %s", op.what, decl.Name.Name, op.fix)
+		}
+		// Interprocedural findings: helpers this function calls (without
+		// handing them a ctx of their own) that block unguardedly.
+		graph.Reach(fn, callerDepth, func(callee *types.Func, calleeDecl *ast.FuncDecl) bool {
+			if callee == fn {
+				return true // descend into the entry point's callees
+			}
+			if takesCtx(pass, calleeDecl) {
+				return false // the callee accepted its own ctx contract; checked on its own
+			}
+			if len(ops[callee]) > 0 {
+				if pos, ok := callSite(pass, decl, callee); ok {
+					pass.Reportf(pos, "call to %s blocks without a cancellation path (%s); thread ctx into it or select around it",
+						callee.Name(), ops[callee][0].what)
+				}
+				return false // one report per blocked helper chain is enough
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// blockingOp is one non-cancellable blocking operation.
+type blockingOp struct {
+	pos  token.Pos
+	what string
+	fix  string
+}
+
+// collectBlocking walks one function body (descending into function
+// literals — goroutines spawned here inherit the caller's cancellation
+// obligations) and returns its unguarded blocking operations.
+func collectBlocking(pass *analysis.Pass, body *ast.BlockStmt) []blockingOp {
+	var ops []blockingOp
+
+	// Channel operations that are a select's comm clauses are judged as
+	// part of the select, not individually.
+	inSelect := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+				ast.Inspect(cc.Comm, func(m ast.Node) bool {
+					inSelect[m] = true
+					return true
+				})
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			if !selectCancellable(pass, n) {
+				ops = append(ops, blockingOp{
+					pos:  n.Pos(),
+					what: "select without default or <-ctx.Done() case",
+					fix:  "add a <-ctx.Done() case",
+				})
+			}
+		case *ast.SendStmt:
+			if !inSelect[n] {
+				ops = append(ops, blockingOp{
+					pos:  n.Pos(),
+					what: "blocking channel send",
+					fix:  "wrap it in a select with a <-ctx.Done() case",
+				})
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW || inSelect[n] {
+				return true
+			}
+			if isCancelChan(pass, n.X) {
+				return true // receiving the cancellation signal itself
+			}
+			ops = append(ops, blockingOp{
+				pos:  n.Pos(),
+				what: "blocking channel receive",
+				fix:  "wrap it in a select with a <-ctx.Done() case",
+			})
+		case *ast.CallExpr:
+			if recvType, ok := syncWaitCall(pass, n); ok {
+				ops = append(ops, blockingOp{
+					pos:  n.Pos(),
+					what: "sync." + recvType + ".Wait",
+					fix:  "use a Wait(ctx)-shaped helper or a completion channel selected with <-ctx.Done()",
+				})
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// selectCancellable reports whether a select can always be left when the
+// context is cancelled: it has a default clause, or some case receives a
+// cancellation channel (an x.Done() call on a context, or any
+// receive-only chan struct{} — the stack's done/quit channel shape).
+func selectCancellable(pass *analysis.Pass, sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default: the select cannot block at all
+		}
+		recv := commReceive(cc.Comm)
+		if recv != nil && isCancelChan(pass, recv.X) {
+			return true
+		}
+	}
+	return false
+}
+
+// commReceive extracts the receive expression of a comm clause statement
+// (`<-ch`, `v := <-ch`, `v, ok = <-ch`), or nil for a send.
+func commReceive(comm ast.Stmt) *ast.UnaryExpr {
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		if u, ok := s.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			return u
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if u, ok := s.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return u
+			}
+		}
+	}
+	return nil
+}
+
+// isCancelChan reports whether a channel expression is a cancellation
+// signal: a Done() call whose receiver is a context.Context, or any
+// expression whose element type is struct{} — the shape of ctx.Done(),
+// ticket done channels, quit channels, and struct{} semaphores alike.
+func isCancelChan(pass *analysis.Pass, ch ast.Expr) bool {
+	if call, ok := ast.Unparen(ch).(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isContext(tv.Type) {
+				return true
+			}
+		}
+	}
+	tv, ok := pass.TypesInfo.Types[ch]
+	if !ok {
+		return false
+	}
+	chT, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := chT.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// syncWaitCall matches wg.Wait() / cond.Wait() on the sync package's
+// WaitGroup and Cond types, returning the type name.
+func syncWaitCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" || len(call.Args) != 0 {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return "", false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", false
+	}
+	if name := obj.Name(); name == "WaitGroup" || name == "Cond" {
+		return name, true
+	}
+	return "", false
+}
+
+// takesCtx reports whether a function declaration has a context.Context
+// parameter.
+func takesCtx(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && isContext(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// callSite finds the first call to callee inside caller's body.
+func callSite(pass *analysis.Pass, caller *ast.FuncDecl, callee *types.Func) (token.Pos, bool) {
+	var found ast.Node
+	ast.Inspect(caller.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if cfg.StaticCallee(pass.TypesInfo, call) == callee {
+			found = call
+			return false
+		}
+		return true
+	})
+	if found == nil {
+		return token.NoPos, false
+	}
+	return found.Pos(), true
+}

@@ -1,0 +1,139 @@
+// Package goleak flags fire-and-forget goroutines: a `go` statement in
+// library code whose spawned function can never terminate. The check is
+// control-flow, not lexical: the spawned body's CFG (tools/mqssvet/cfg)
+// must have a path from entry to exit — a return, a break out of the
+// loop, or a panic. A body shaped `for { … }` or `for { select { … } }`
+// with no escaping branch runs until process death; across QRM restarts
+// and long-lived fleet processes those goroutines accumulate without
+// bound, which is exactly the leak class the distributed rewrite cannot
+// afford.
+//
+// Termination signals the stack actually uses all create exit paths the
+// CFG sees: `case <-ctx.Done(): return`, a closed-channel receive
+// followed by return, a worker-retire condition (`if d.workers > d.slots
+// { return }`), or plain run-to-completion bodies. A goroutine whose
+// entry point is declared in another package is joined cross-package in
+// Finish through the call-graph summary contract; dynamically dispatched
+// entry points (function values, interface methods) are unknowable and
+// skipped. Package main is exempt — a daemon's accept loop is supposed
+// to run forever.
+package goleak
+
+import (
+	"go/ast"
+	"go/token"
+
+	"mqsspulse/tools/mqssvet/analysis"
+	"mqsspulse/tools/mqssvet/cfg"
+)
+
+// Analyzer is the goleak check.
+var Analyzer = &analysis.Analyzer{
+	Name:   "goleak",
+	Doc:    "every go statement in library code must spawn a function whose CFG can reach its exit (no unconditional forever-loops)",
+	Run:    run,
+	Finish: finish,
+}
+
+// summary is one package's contribution to the cross-package join.
+type summary struct {
+	// terminates maps each declared function's FullName to whether its
+	// body can reach its exit.
+	terminates map[string]bool
+	// pending records go statements whose entry point is declared in
+	// another package, keyed by the callee's FullName.
+	pending []pendingSpawn
+}
+
+// pendingSpawn is a go statement awaiting a cross-package verdict.
+type pendingSpawn struct {
+	callee string
+	pos    token.Pos
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	sum := &summary{terminates: map[string]bool{}}
+	graph := cfg.BuildCallGraph(pass.Files, pass.TypesInfo)
+	for fn, decl := range graph.Decls {
+		sum.terminates[fn.FullName()] = cfg.New(decl.Body).ExitReachable()
+	}
+	if pass.Pkg.Name() == "main" {
+		// Commands own their process lifetime; report nothing, but still
+		// export the summary — a library goroutine may enter here. (It
+		// cannot, actually: main is imported by nobody. Exporting keeps
+		// the join total.)
+		return sum, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkSpawn(pass, graph, sum, g)
+			return true
+		})
+	}
+	return sum, nil
+}
+
+// checkSpawn resolves one go statement's entry point and reports it when
+// the spawned body provably never terminates.
+func checkSpawn(pass *analysis.Pass, graph *cfg.CallGraph, sum *summary, g *ast.GoStmt) {
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if !cfg.New(fun.Body).ExitReachable() {
+			pass.Reportf(g.Pos(), "goroutine can never terminate: no path from its body to an exit (return, break, or panic); it will leak")
+		}
+	default:
+		callee := cfg.StaticCallee(pass.TypesInfo, g.Call)
+		if callee == nil {
+			return // dynamic entry point: unknowable, not "safe"
+		}
+		if decl := graph.Decls[callee]; decl != nil {
+			if !cfg.New(decl.Body).ExitReachable() {
+				pass.Reportf(g.Pos(), "goroutine entry %s can never terminate: no path from its body to an exit; it will leak", callee.Name())
+			}
+			return
+		}
+		// Declared in another package: defer to the Finish join.
+		sum.pending = append(sum.pending, pendingSpawn{callee: callee.FullName(), pos: g.Pos()})
+	}
+}
+
+// finish joins the per-package summaries: pending cross-package spawns
+// are resolved against the callee's home-package verdict.
+func finish(pass *analysis.FinishPass) {
+	terminates := map[string]bool{}
+	for _, res := range pass.Results {
+		sum, ok := res.(*summary)
+		if !ok {
+			continue
+		}
+		for name, t := range sum.terminates {
+			terminates[name] = t
+		}
+	}
+	for _, res := range pass.Results {
+		sum, ok := res.(*summary)
+		if !ok {
+			continue
+		}
+		for _, p := range sum.pending {
+			if t, known := terminates[p.callee]; known && !t {
+				pass.Reportf(p.pos, "goroutine entry %s can never terminate: no path from its body to an exit; it will leak", shortName(p.callee))
+			}
+		}
+	}
+}
+
+// shortName trims a FullName like "(*pkg/path.T).m" or "pkg/path.f" to
+// its final method or function name for the diagnostic.
+func shortName(full string) string {
+	for i := len(full) - 1; i >= 0; i-- {
+		if full[i] == '.' {
+			return full[i+1:]
+		}
+	}
+	return full
+}

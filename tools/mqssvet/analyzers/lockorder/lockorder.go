@@ -1,0 +1,563 @@
+// Package lockorder builds the program's global mutex-acquisition order
+// and reports anything that could deadlock. Per function, a forward
+// dataflow over the CFG (tools/mqssvet/cfg) tracks the set of locks held
+// at every program point — flow-sensitively, so `mu.Unlock(); helper();
+// mu.Lock()` holds nothing at the call, while `defer mu.Unlock()` holds
+// the lock to the end. Every acquisition performed while another lock is
+// held contributes an edge held→acquired; calls made under a lock pull
+// in the callee's transitive may-acquire summary through the Finish
+// join, so an edge crossing qrm → telemetry → client package lines is
+// seen exactly like a local one.
+//
+// Findings, in increasing severity:
+//
+//   - acquiring a lock already held (direct self-deadlock for a Mutex);
+//   - an acquisition violating declared ranks: a field or package-level
+//     mutex annotated `//mqss:lockrank <n>` must only be acquired while
+//     holding strictly lower-ranked locks;
+//   - a cycle in the acquisition-order graph (A taken before B on one
+//     path, B before A on another — the classic ABBA deadlock).
+//
+// Locks are identified structurally: a mutex field is "pkg.Type.field",
+// a package-level mutex is "pkg.var", a struct embedding sync.Mutex is
+// "pkg.Type", a function-local mutex is "func$name". Interface-typed
+// lockers (sync.Locker) have no stable identity and are ignored.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mqsspulse/tools/mqssvet/analysis"
+	"mqsspulse/tools/mqssvet/cfg"
+)
+
+// Analyzer is the lockorder check.
+var Analyzer = &analysis.Analyzer{
+	Name:   "lockorder",
+	Doc:    "mutex acquisition order must be acyclic and respect //mqss:lockrank ranks (flow-sensitive, cross-package)",
+	Run:    run,
+	Finish: finish,
+}
+
+// edge is one observed acquisition order: to was acquired while from was
+// held, at pos.
+type edge struct {
+	from, to string
+	pos      token.Pos
+}
+
+// heldCall is a call made while holding locks; the callee's transitive
+// acquisitions become edges in Finish.
+type heldCall struct {
+	held   []string
+	callee string
+	pos    token.Pos
+}
+
+// summary is one package's contribution to the global order graph.
+type summary struct {
+	edges    []edge
+	ranks    map[string]int
+	acquires map[string][]string // func FullName → lock IDs directly acquired
+	calls    map[string][]string // func FullName → static callee FullNames
+	held     []heldCall
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	sum := &summary{
+		ranks:    map[string]int{},
+		acquires: map[string][]string{},
+		calls:    map[string][]string{},
+	}
+	collectRanks(pass, sum)
+	graph := cfg.BuildCallGraph(pass.Files, pass.TypesInfo)
+	for fn, decl := range graph.Decls {
+		full := fn.FullName()
+		for _, callee := range graph.Calls[fn] {
+			sum.calls[full] = append(sum.calls[full], callee.FullName())
+		}
+		analyzeBody(pass, sum, full, decl.Body)
+	}
+	// Function literals hold locks of their own (worker goroutines);
+	// analyze each as an anonymous function.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				name := fmt.Sprintf("%s.func@%d", pass.Pkg.Path(), pass.Fset.Position(lit.Pos()).Line)
+				analyzeBody(pass, sum, name, lit.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return sum, nil
+}
+
+// analyzeBody solves the held-locks dataflow over one function body and
+// records its acquisition events into the summary.
+func analyzeBody(pass *analysis.Pass, sum *summary, fnName string, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	in := newInterner()
+
+	transfer := func(b *cfg.Block, fact uint64) uint64 {
+		return scanBlock(pass, b, fact, in, fnName, nil)
+	}
+	res := cfg.Solve(g, 0, func(a, b uint64) uint64 { return a | b }, transfer)
+
+	// Collection pass: replay each reached block from its solved entry
+	// fact, emitting events exactly once.
+	for _, b := range g.Blocks {
+		fact, reached := res.In[b]
+		if !reached {
+			continue
+		}
+		scanBlock(pass, b, fact, in, fnName, sum)
+	}
+}
+
+// scanBlock walks a block's nodes updating the held-lock fact; when sum
+// is non-nil it also records self-acquisitions, order edges, direct
+// acquires, and held calls.
+func scanBlock(pass *analysis.Pass, b *cfg.Block, fact uint64, in *interner, fnName string, sum *summary) uint64 {
+	for _, node := range b.Nodes {
+		if _, isDefer := node.(*ast.DeferStmt); isDefer {
+			continue // deferred unlocks run at exit; the lock stays held here
+		}
+		ast.Inspect(node, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncLit, *ast.DeferStmt:
+				return false // closures are analyzed separately; defers at exit
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method, lockID := syncLockCall(pass, call)
+			switch method {
+			case "Lock", "RLock":
+				if lockID == "" {
+					return true
+				}
+				bit, ok := in.bit(lockID)
+				if !ok {
+					return true
+				}
+				if sum != nil {
+					if fact&bit != 0 {
+						pass.Reportf(call.Pos(), "lock %s acquired while already held on some path (self-deadlock for a Mutex)", lockID)
+					}
+					for _, heldID := range in.names(fact &^ bit) {
+						sum.edges = append(sum.edges, edge{from: heldID, to: lockID, pos: call.Pos()})
+					}
+					sum.acquires[fnName] = appendUnique(sum.acquires[fnName], lockID)
+				}
+				fact |= bit
+			case "Unlock", "RUnlock":
+				if lockID == "" {
+					return true
+				}
+				if bit, ok := in.bit(lockID); ok {
+					fact &^= bit
+				}
+			default:
+				if sum == nil || fact == 0 {
+					return true
+				}
+				callee := cfg.StaticCallee(pass.TypesInfo, call)
+				if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() == "sync" {
+					return true
+				}
+				sum.held = append(sum.held, heldCall{
+					held: in.names(fact), callee: callee.FullName(), pos: call.Pos(),
+				})
+			}
+			return true
+		})
+	}
+	return fact
+}
+
+// finish joins every package's summary into the global order graph and
+// reports rank violations and cycles.
+func finish(pass *analysis.FinishPass) {
+	all := &summary{
+		ranks:    map[string]int{},
+		acquires: map[string][]string{},
+		calls:    map[string][]string{},
+	}
+	paths := make([]string, 0, len(pass.Results))
+	for p := range pass.Results {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		sum, ok := pass.Results[p].(*summary)
+		if !ok {
+			continue
+		}
+		all.edges = append(all.edges, sum.edges...)
+		all.held = append(all.held, sum.held...)
+		for k, v := range sum.ranks {
+			all.ranks[k] = v
+		}
+		for k, v := range sum.acquires {
+			all.acquires[k] = append(all.acquires[k], v...)
+		}
+		for k, v := range sum.calls {
+			all.calls[k] = append(all.calls[k], v...)
+		}
+	}
+
+	// Transitive may-acquire: what locks can each function end up taking,
+	// directly or through any chain of static calls.
+	mayAcquire := map[string]map[string]bool{}
+	for fn, locks := range all.acquires {
+		set := map[string]bool{}
+		for _, l := range locks {
+			set[l] = true
+		}
+		mayAcquire[fn] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range all.calls {
+			set := mayAcquire[fn]
+			for _, callee := range callees {
+				for l := range mayAcquire[callee] {
+					if set == nil {
+						set = map[string]bool{}
+						mayAcquire[fn] = set
+					}
+					if !set[l] {
+						set[l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Calls under a lock contribute the callee's transitive acquisitions
+	// as order edges. Self-edges are skipped here: without path context a
+	// may-summary cannot distinguish re-acquisition from release-then-call.
+	edges := append([]edge(nil), all.edges...)
+	for _, hc := range all.held {
+		for l := range mayAcquire[hc.callee] {
+			for _, h := range hc.held {
+				if h != l {
+					edges = append(edges, edge{from: h, to: l, pos: hc.pos})
+				}
+			}
+		}
+	}
+
+	reportRankViolations(pass, edges, all.ranks)
+	reportCycles(pass, edges)
+}
+
+// reportRankViolations checks every order edge against declared
+// //mqss:lockrank ranks: acquisition order must be strictly increasing.
+func reportRankViolations(pass *analysis.FinishPass, edges []edge, ranks map[string]int) {
+	seen := map[string]bool{}
+	for _, e := range edges {
+		rf, okF := ranks[e.from]
+		rt, okT := ranks[e.to]
+		if !okF || !okT || rf < rt {
+			continue
+		}
+		key := e.from + "→" + e.to
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		pass.Reportf(e.pos, "lock rank violation: %s (rank %d) acquired while holding %s (rank %d); //mqss:lockrank order is strictly increasing",
+			e.to, rt, e.from, rf)
+	}
+}
+
+// reportCycles finds cycles in the acquisition-order graph and reports
+// each once, at the lexicographically first participating edge.
+func reportCycles(pass *analysis.FinishPass, edges []edge) {
+	succs := map[string]map[string]token.Pos{}
+	for _, e := range edges {
+		if succs[e.from] == nil {
+			succs[e.from] = map[string]token.Pos{}
+		}
+		if _, dup := succs[e.from][e.to]; !dup {
+			succs[e.from][e.to] = e.pos
+		}
+	}
+	nodes := make([]string, 0, len(succs))
+	for n := range succs {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	reported := map[string]bool{}
+	for _, start := range nodes {
+		cycle := findCycle(succs, start)
+		if cycle == nil {
+			continue
+		}
+		key := canonicalCycle(cycle)
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		pos := succs[cycle[0]][cycle[1]]
+		pass.Reportf(pos, "lock order cycle: %s (potential deadlock); break the cycle or declare //mqss:lockrank ranks",
+			strings.Join(cycle, " → "))
+	}
+}
+
+// findCycle returns a cycle through start as [start, …, start], or nil.
+func findCycle(succs map[string]map[string]token.Pos, start string) []string {
+	var path []string
+	onPath := map[string]bool{}
+	var dfs func(n string) []string
+	visited := map[string]bool{}
+	dfs = func(n string) []string {
+		path = append(path, n)
+		onPath[n] = true
+		next := make([]string, 0, len(succs[n]))
+		for m := range succs[n] {
+			next = append(next, m)
+		}
+		sort.Strings(next)
+		for _, m := range next {
+			if m == start {
+				return append(append([]string(nil), path...), start)
+			}
+			if onPath[m] || visited[m] {
+				continue
+			}
+			if c := dfs(m); c != nil {
+				return c
+			}
+		}
+		path = path[:len(path)-1]
+		onPath[n] = false
+		visited[n] = true
+		return nil
+	}
+	return dfs(start)
+}
+
+// canonicalCycle keys a cycle independent of its starting point.
+func canonicalCycle(cycle []string) string {
+	// cycle is [a, …, a]; drop the duplicate, rotate to the minimum.
+	ring := cycle[:len(cycle)-1]
+	minIdx := 0
+	for i, n := range ring {
+		if n < ring[minIdx] {
+			minIdx = i
+		}
+	}
+	rotated := append(append([]string(nil), ring[minIdx:]...), ring[:minIdx]...)
+	return strings.Join(rotated, "→")
+}
+
+// collectRanks scans struct fields and package-level vars for
+// //mqss:lockrank markers.
+func collectRanks(pass *analysis.Pass, sum *summary) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch spec := spec.(type) {
+				case *ast.TypeSpec:
+					st, ok := spec.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					owner := pass.Pkg.Path() + "." + spec.Name.Name
+					for _, field := range st.Fields.List {
+						rank, ok := lockrankOf(field.Doc, field.Comment)
+						if !ok {
+							continue
+						}
+						for _, name := range field.Names {
+							sum.ranks[owner+"."+name.Name] = rank
+						}
+						if len(field.Names) == 0 { // embedded mutex: the struct is the lock
+							sum.ranks[owner] = rank
+						}
+					}
+				case *ast.ValueSpec:
+					rank, ok := lockrankOf(spec.Doc, spec.Comment)
+					if !ok {
+						continue
+					}
+					for _, name := range spec.Names {
+						sum.ranks[pass.Pkg.Path()+"."+name.Name] = rank
+					}
+				}
+			}
+		}
+	}
+}
+
+// lockrankOf extracts the rank from `//mqss:lockrank <n>` in either
+// comment group.
+func lockrankOf(groups ...*ast.CommentGroup) (int, bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			fields := strings.Fields(strings.TrimPrefix(c.Text, "//"))
+			for i, f := range fields {
+				if f == "mqss:lockrank" && i+1 < len(fields) {
+					if n, err := strconv.Atoi(fields[i+1]); err == nil {
+						return n, true
+					}
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// syncLockCall classifies a call as one of sync's lock-protocol methods
+// and identifies the lock, returning ("", "") for anything else. The
+// method name comes back even when the lock has no stable identity.
+func syncLockCall(pass *analysis.Pass, call *ast.CallExpr) (method, lockID string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	if selection, ok := pass.TypesInfo.Selections[sel]; ok {
+		if _, isIface := selection.Recv().Underlying().(*types.Interface); isIface {
+			return name, "" // sync.Locker: no stable identity
+		}
+	}
+	return name, lockIdent(pass, sel.X)
+}
+
+// lockIdent derives the structural identity of the lock denoted by expr.
+func lockIdent(pass *analysis.Pass, expr ast.Expr) string {
+	switch expr := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		// A field access x.mu: identify by owning named type + field.
+		if selection, ok := pass.TypesInfo.Selections[expr]; ok {
+			if owner := namedOf(selection.Recv()); owner != "" {
+				return owner + "." + expr.Sel.Name
+			}
+			return ""
+		}
+		// Package-qualified var: pkg.mu.
+		if v, ok := pass.TypesInfo.Uses[expr.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		return ""
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[expr]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[expr]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return ""
+		}
+		// A receiver or local whose type embeds the mutex: the struct
+		// itself is the lock.
+		if owner := namedOf(v.Type()); owner != "" && !isSyncType(v.Type()) {
+			return owner
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name() // package-level mutex
+		}
+		// Function-local mutex: identity scoped by declaration position.
+		return fmt.Sprintf("local$%s@%d", v.Name(), pass.Fset.Position(v.Pos()).Line)
+	}
+	return ""
+}
+
+// namedOf returns "pkgpath.Name" for a (possibly pointer-to) named type.
+func namedOf(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// isSyncType reports whether t is (a pointer to) a type declared in sync.
+func isSyncType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync"
+}
+
+// interner maps lock IDs to bits of the uint64 dataflow fact. A function
+// touching more than 64 distinct locks overflows the fact; further locks
+// are ignored (no such function exists in this codebase, or should).
+type interner struct {
+	bits  map[string]uint64
+	order []string
+}
+
+func newInterner() *interner {
+	return &interner{bits: map[string]uint64{}}
+}
+
+// bit returns the bit for id, allocating one if needed; ok is false once
+// the 64-lock capacity is exhausted.
+func (in *interner) bit(id string) (uint64, bool) {
+	if b, ok := in.bits[id]; ok {
+		return b, true
+	}
+	if len(in.order) >= 64 {
+		return 0, false
+	}
+	b := uint64(1) << uint(len(in.order))
+	in.bits[id] = b
+	in.order = append(in.order, id)
+	return b, true
+}
+
+// names expands a fact mask back to the lock IDs it holds, in
+// allocation order.
+func (in *interner) names(fact uint64) []string {
+	var ids []string
+	for i, id := range in.order {
+		if fact&(1<<uint(i)) != 0 {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// appendUnique appends s when absent.
+func appendUnique(list []string, s string) []string {
+	for _, have := range list {
+		if have == s {
+			return list
+		}
+	}
+	return append(list, s)
+}

@@ -1,14 +1,19 @@
 // Package spanend enforces the telemetry span lifecycle (PR 7): an
 // ActiveSpan obtained from StartSpan must be ended on every path out of
-// the function that started it — either by a defer or by an End call that
-// dominates each return. An unended span leaves a hole in the job
-// timeline exactly on the failure paths where the trace matters most.
+// the function that started it — either by a defer or by End calls
+// covering each exit. An unended span leaves a hole in the job timeline
+// exactly on the failure paths where the trace matters most.
 //
-// The check is a lexical approximation of dominance: an End call counts
-// for a return when it appears earlier in the return's own block or in
-// any enclosing block before the branch containing the return. Spans that
-// escape the starting function (returned, stored, or passed onward) are
-// someone else's responsibility and are skipped.
+// Since PR 10 the check runs on the real control-flow graph
+// (tools/mqssvet/cfg), not the lexical-dominance approximation PR 9
+// shipped: every path from the StartSpan to the function's Exit must
+// cross an End call. That covers early returns, panic edges (a panic
+// recovered by a caller's defer still abandons the span unless this
+// function deferred its End), select/switch branches, and goto — paths
+// the lexical version silently passed. Spans that escape the starting
+// function (returned, stored, or passed onward) are someone else's
+// responsibility and are skipped; function literals are checked as
+// functions of their own.
 package spanend
 
 import (
@@ -16,12 +21,13 @@ import (
 	"go/types"
 
 	"mqsspulse/tools/mqssvet/analysis"
+	"mqsspulse/tools/mqssvet/cfg"
 )
 
 // Analyzer is the spanend check.
 var Analyzer = &analysis.Analyzer{
 	Name: "spanend",
-	Doc:  "every span started with StartSpan must be ended (defer or dominating End) on all return paths",
+	Doc:  "every span started with StartSpan must be ended (defer or End) on all CFG paths to the function exit",
 	Run:  run,
 }
 
@@ -32,80 +38,184 @@ func run(pass *analysis.Pass) (any, error) {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			checkFunc(pass, fn)
+			checkBody(pass, fn.Body)
 		}
 	}
 	return nil, nil
 }
 
-// checkFunc verifies every span started inside fn.
-func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+// checkBody verifies every span started directly in body (not inside a
+// nested function literal), then recurses into the literals so a span
+// started in a closure is checked against the closure's own paths.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	inspectShallow(body, func(n ast.Node) {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkBody(pass, lit.Body)
+		}
 		assign, ok := n.(*ast.AssignStmt)
 		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
-			return true
+			return
 		}
 		call, ok := assign.Rhs[0].(*ast.CallExpr)
 		if !ok || !isStartSpan(pass, call) {
-			return true
+			return
 		}
 		ident, ok := assign.Lhs[0].(*ast.Ident)
 		if !ok {
-			return true
+			return
 		}
 		if ident.Name == "_" {
 			pass.Reportf(assign.Pos(), "span from StartSpan is discarded and can never be ended")
-			return true
+			return
 		}
 		obj := pass.TypesInfo.Defs[ident]
 		if obj == nil {
 			obj = pass.TypesInfo.Uses[ident]
 		}
 		if obj == nil {
-			return true
+			return
 		}
-		checkSpan(pass, fn, assign, ident.Name, obj)
-		return true
+		checkSpan(pass, body, assign, ident.Name, obj)
 	})
 }
 
-// checkSpan verifies one started span is ended on every path.
-func checkSpan(pass *analysis.Pass, fn *ast.FuncDecl, start *ast.AssignStmt, name string, obj types.Object) {
-	if escapes(pass, fn, start, obj) {
+// inspectShallow walks n's tree calling f on every node, but — unlike
+// ast.Inspect — does not descend into function literals (f still sees
+// the literal itself).
+func inspectShallow(n ast.Node, f func(ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		f(n)
+		_, isLit := n.(*ast.FuncLit)
+		return !isLit
+	})
+}
+
+// checkSpan verifies one started span is ended on every CFG path from its
+// start to the function exit.
+func checkSpan(pass *analysis.Pass, body *ast.BlockStmt, start *ast.AssignStmt, name string, obj types.Object) {
+	if escapes(pass, body, start, obj) {
 		return // ownership transferred; the receiver must end it
 	}
-	if hasDeferredEnd(pass, fn, obj) {
-		return
+	if hasDeferredEnd(pass, body, obj) {
+		return // deferred End covers every exit, panics included
 	}
-	endSeen := false
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		if isEndCall(pass, n, obj) {
-			endSeen = true
-		}
-		return true
-	})
-	if !endSeen {
+	if !hasAnyEnd(pass, body, obj) {
 		pass.Reportf(start.Pos(), "span %s is started but never ended; add defer %s.End() or end it on every path", name, name)
 		return
 	}
-	for _, ret := range returnsAfter(fn.Body, start) {
-		if !endedOnPath(pass, fn.Body, ret, obj) {
-			pass.Reportf(ret.Pos(), "return without ending span %s; this path leaves the timeline open", name)
+
+	g := cfg.New(body)
+	startBlock, startIdx := locate(g, start)
+	if startBlock == nil {
+		return // start buried in a construct the builder kept opaque
+	}
+
+	// Breadth-first search for a path from the span start to Exit that
+	// never crosses an End call. Visiting is per block: once a block has
+	// been entered with the span open, re-entering adds nothing.
+	type visit struct {
+		b   *cfg.Block
+		idx int
+	}
+	seen := map[*cfg.Block]bool{}
+	work := []visit{{startBlock, startIdx + 1}}
+	for len(work) > 0 {
+		v := work[0]
+		work = work[1:]
+		if endsInNodes(pass, v.b.Nodes[v.idx:], obj) {
+			continue // this path closed the span
+		}
+		for _, s := range v.b.Succs {
+			if s == g.Exit {
+				reportOpenExit(pass, body, v.b, name)
+				continue
+			}
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, visit{s, 0})
+			}
 		}
 	}
-	// A function body that can fall off its end is an implicit return:
-	// require a dominating End at the top level of the body.
-	if fallsOffEnd(fn) && !endedInList(pass, fn.Body.List, len(fn.Body.List), obj) {
-		pass.Reportf(fn.Body.Rbrace, "function may exit without ending span %s", name)
+}
+
+// reportOpenExit reports one escaping path at its terminator: the return
+// or panic statement, or the closing brace for an implicit return.
+func reportOpenExit(pass *analysis.Pass, body *ast.BlockStmt, b *cfg.Block, name string) {
+	switch term := b.Term.(type) {
+	case *ast.ReturnStmt:
+		pass.Reportf(term.Pos(), "return without ending span %s; this path leaves the timeline open", name)
+	case nil:
+		pass.Reportf(body.Rbrace, "function may exit without ending span %s", name)
+	default:
+		pass.Reportf(term.Pos(), "panic without ending span %s; only a deferred End survives this path", name)
 	}
+}
+
+// locate finds the block and node index of the span-starting statement.
+// The start may be a block node itself or sit inside one (an if/for init
+// statement appears as its own node; deeper nestings scan by position).
+func locate(g *cfg.Graph, start ast.Stmt) (*cfg.Block, int) {
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n == ast.Node(start) {
+				return b, i
+			}
+			if n.Pos() <= start.Pos() && start.End() <= n.End() {
+				return b, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+// endsInNodes reports whether any of the nodes contains a direct
+// obj.End() call — deferred calls and calls inside nested function
+// literals do not count (defers are handled before the path search, and
+// a closure's End runs on the closure's schedule, not this path's).
+func endsInNodes(pass *analysis.Pass, nodes []ast.Node, obj types.Object) bool {
+	for _, n := range nodes {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			continue
+		}
+		found := false
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncLit, *ast.DeferStmt:
+				return false
+			}
+			if isEndCall(pass, n, obj) {
+				found = true
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// hasAnyEnd reports whether body contains any direct End call on obj
+// outside function literals.
+func hasAnyEnd(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) {
+		if isEndCall(pass, n, obj) {
+			found = true
+		}
+	})
+	return found
 }
 
 // escapes reports whether the span value leaves the function: returned,
 // assigned to a field/index/other variable, or passed as a call argument.
 // Method calls on the span itself (End, ID) do not count.
-func escapes(pass *analysis.Pass, fn *ast.FuncDecl, start *ast.AssignStmt, obj types.Object) bool {
+func escapes(pass *analysis.Pass, body *ast.BlockStmt, start *ast.AssignStmt, obj types.Object) bool {
 	escaped := false
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			for _, arg := range n.Args {
@@ -188,157 +298,14 @@ func isEndCall(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
 	return ok && pass.TypesInfo.Uses[ident] == obj
 }
 
-// hasDeferredEnd matches defer obj.End() anywhere in the function.
-func hasDeferredEnd(pass *analysis.Pass, fn *ast.FuncDecl, obj types.Object) bool {
+// hasDeferredEnd matches defer obj.End() anywhere in the function body
+// outside nested literals.
+func hasDeferredEnd(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
 	found := false
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+	inspectShallow(body, func(n ast.Node) {
 		if def, ok := n.(*ast.DeferStmt); ok && isEndCall(pass, def.Call, obj) {
 			found = true
 		}
-		return true
 	})
 	return found
-}
-
-// returnsAfter collects return statements positioned after pos.
-func returnsAfter(body *ast.BlockStmt, pos ast.Node) []*ast.ReturnStmt {
-	var rets []*ast.ReturnStmt
-	ast.Inspect(body, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false // a closure's returns are its own
-		}
-		if ret, ok := n.(*ast.ReturnStmt); ok && ret.Pos() > pos.End() {
-			rets = append(rets, ret)
-		}
-		return true
-	})
-	return rets
-}
-
-// endedOnPath reports whether an End call lexically dominates ret: at
-// every block level on the path from the function body down to ret, the
-// statements before the branch containing ret (or before ret itself in
-// its own block) are scanned for obj.End().
-func endedOnPath(pass *analysis.Pass, body *ast.BlockStmt, ret *ast.ReturnStmt, obj types.Object) bool {
-	for _, level := range pathTo(body.List, ret) {
-		if endedInList(pass, level.stmts, level.idx, obj) {
-			return true
-		}
-	}
-	return false
-}
-
-// pathLevel is one statement list on the path to a target node, with the
-// index of the statement containing the target.
-type pathLevel struct {
-	stmts []ast.Stmt
-	idx   int
-}
-
-// pathTo walks nested statement lists toward target, recording at each
-// level which statement contains it.
-func pathTo(stmts []ast.Stmt, target ast.Node) []pathLevel {
-	for i, s := range stmts {
-		if s.Pos() > target.Pos() || s.End() < target.End() {
-			continue
-		}
-		level := pathLevel{stmts: stmts, idx: i}
-		for _, sub := range childStmtLists(s) {
-			if rest := pathTo(sub, target); rest != nil {
-				return append([]pathLevel{level}, rest...)
-			}
-		}
-		return []pathLevel{level}
-	}
-	return nil
-}
-
-// childStmtLists returns the statement lists nested directly inside s.
-func childStmtLists(s ast.Stmt) [][]ast.Stmt {
-	var lists [][]ast.Stmt
-	switch s := s.(type) {
-	case *ast.BlockStmt:
-		lists = append(lists, s.List)
-	case *ast.IfStmt:
-		lists = append(lists, s.Body.List)
-		if s.Else != nil {
-			lists = append(lists, childStmtLists(s.Else)...)
-		}
-	case *ast.ForStmt:
-		lists = append(lists, s.Body.List)
-	case *ast.RangeStmt:
-		lists = append(lists, s.Body.List)
-	case *ast.SwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				lists = append(lists, cc.Body)
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				lists = append(lists, cc.Body)
-			}
-		}
-	case *ast.SelectStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				lists = append(lists, cc.Body)
-			}
-		}
-	case *ast.LabeledStmt:
-		lists = append(lists, childStmtLists(s.Stmt)...)
-	}
-	return lists
-}
-
-// endedInList reports whether any statement in stmts[:idx] contains
-// obj.End() (outside nested function literals).
-func endedInList(pass *analysis.Pass, stmts []ast.Stmt, idx int, obj types.Object) bool {
-	for _, s := range stmts[:idx] {
-		found := false
-		ast.Inspect(s, func(n ast.Node) bool {
-			if _, ok := n.(*ast.FuncLit); ok {
-				return false
-			}
-			if isEndCall(pass, n, obj) {
-				found = true
-			}
-			return true
-		})
-		if found {
-			return true
-		}
-	}
-	return false
-}
-
-// fallsOffEnd approximates whether control can reach the closing brace:
-// true unless the last top-level statement is a return or a terminating
-// construct we recognize (panic call, infinite for without break at top
-// level is treated as terminating only when it has no condition).
-func fallsOffEnd(fn *ast.FuncDecl) bool {
-	if len(fn.Body.List) == 0 {
-		return true
-	}
-	switch last := fn.Body.List[len(fn.Body.List)-1].(type) {
-	case *ast.ReturnStmt:
-		return false
-	case *ast.ExprStmt:
-		if call, ok := last.X.(*ast.CallExpr); ok {
-			if ident, ok := call.Fun.(*ast.Ident); ok && ident.Name == "panic" {
-				return false
-			}
-		}
-	case *ast.ForStmt:
-		if last.Cond == nil {
-			return false
-		}
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.IfStmt, *ast.SelectStmt:
-		// Branch constructs may or may not terminate; assume reachable fall
-		// through only when the function has no result values (with results
-		// the compiler already forces explicit returns everywhere).
-		return fn.Type.Results == nil || fn.Type.Results.NumFields() == 0
-	}
-	return fn.Type.Results == nil || fn.Type.Results.NumFields() == 0
 }

@@ -1,0 +1,117 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The call graph: a per-package map from declared functions to the
+// callees their bodies can reach by direct (statically resolvable)
+// calls. Analyzers use it two ways: intra-package, to follow a helper
+// from a `go` statement or a ctx-taking entry point to the code that
+// actually blocks; and inter-package, by exporting per-function
+// summaries keyed by FullName from Run and joining them in Finish —
+// the interprocedural summary contract of the CFG engine.
+//
+// The graph is deliberately partial: calls through interfaces, function
+// values, and method values are not resolved (there is no body to
+// follow), and only edges — not contexts — are recorded. Every consumer
+// treats an unresolved call as "unknown", never as "safe".
+
+// A CallGraph is the direct-call graph of one package.
+type CallGraph struct {
+	// Decls maps each function or method declared in the package (with a
+	// body) to its declaration.
+	Decls map[*types.Func]*ast.FuncDecl
+	// Calls maps each declared function to the distinct functions its
+	// body calls directly, in first-call order. Callees may belong to
+	// other packages.
+	Calls map[*types.Func][]*types.Func
+}
+
+// BuildCallGraph constructs the direct-call graph of one package's files.
+func BuildCallGraph(files []*ast.File, info *types.Info) *CallGraph {
+	g := &CallGraph{
+		Decls: map[*types.Func]*ast.FuncDecl{},
+		Calls: map[*types.Func][]*types.Func{},
+	}
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.Decls[obj] = fn
+			seen := map[*types.Func]bool{}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := StaticCallee(info, call); callee != nil && !seen[callee] {
+					seen[callee] = true
+					g.Calls[obj] = append(g.Calls[obj], callee)
+				}
+				return true
+			})
+		}
+	}
+	return g
+}
+
+// StaticCallee resolves a call expression to the *types.Func it invokes,
+// or nil when the callee is dynamic (function value, interface method)
+// or a builtin/conversion.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			// A method call on a concrete receiver: resolvable when the
+			// method has a body somewhere (interface methods do not, but
+			// returning them is still correct — lookups just miss).
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Func.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// Reach walks the call graph from root, visiting every declared function
+// reachable through direct calls (root included), up to the given depth
+// (a depth of 1 visits root only). Visit is called once per function;
+// returning false prunes that function's callees.
+func (g *CallGraph) Reach(root *types.Func, depth int, visit func(fn *types.Func, decl *ast.FuncDecl) bool) {
+	seen := map[*types.Func]bool{}
+	var walk func(fn *types.Func, left int)
+	walk = func(fn *types.Func, left int) {
+		if left <= 0 || seen[fn] {
+			return
+		}
+		seen[fn] = true
+		decl := g.Decls[fn]
+		if decl == nil {
+			return // declared elsewhere: summaries must cross in Finish
+		}
+		if !visit(fn, decl) {
+			return
+		}
+		for _, callee := range g.Calls[fn] {
+			walk(callee, left-1)
+		}
+	}
+	walk(root, depth)
+}

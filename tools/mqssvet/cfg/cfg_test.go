@@ -1,0 +1,137 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseFunc parses src as a file and returns the CFG of the first
+// function declaration's body.
+func parseFunc(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	return New(fn.Body)
+}
+
+// TestExitReachable pins the termination judgments goleak builds on.
+func TestExitReachable(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want bool
+	}{
+		{"empty", ``, true},
+		{"straight line", `x := 1; _ = x`, true},
+		{"infinite for", `for { }`, false},
+		{"infinite for with work", `for { work() }`, false},
+		{"for with break", `for { break }`, true},
+		{"for with return", `for { if done() { return } }`, true},
+		{"conditional for", `for cond() { }`, true},
+		{"range loop", `for range xs { }`, true},
+		{"empty select", `select { }`, false},
+		{"select with return case", `for { select { case <-ch: return } }`, true},
+		{"select no escape", `for { select { case <-ch: work() } }`, false},
+		{"panic only", `panic("boom")`, true},
+		{"infinite for then dead code", `for { }; work()`, false},
+		{"goto forward", `goto done; done: work()`, true},
+		{"goto self loop", `again: goto again`, false},
+		{"labeled break", `outer: for { for { break outer } }`, true},
+		{"labeled continue only", `outer: for { for { continue outer } }`, false},
+		{"switch all terminate", `switch x() { case 1: return; default: panic("no") }`, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := parseFunc(t, tc.body)
+			if got := g.ExitReachable(); got != tc.want {
+				t.Errorf("ExitReachable = %v, want %v\nbody:\n%s", got, tc.want, tc.body)
+			}
+		})
+	}
+}
+
+// TestPanicTerminates pins that a panic call ends its block with an edge
+// to Exit and records the terminator.
+func TestPanicTerminates(t *testing.T) {
+	g := parseFunc(t, `if bad() { panic("x") }; work()`)
+	var panicBlock *Block
+	for _, b := range g.Blocks {
+		if b.Term != nil {
+			for _, s := range b.Succs {
+				if s == g.Exit {
+					panicBlock = b
+				}
+			}
+		}
+	}
+	if panicBlock == nil {
+		t.Fatal("no terminated block with an Exit edge found")
+	}
+}
+
+// TestDefersRecorded pins that defer statements land on Graph.Defers.
+func TestDefersRecorded(t *testing.T) {
+	g := parseFunc(t, `defer cleanup(); if x() { defer other() }`)
+	if len(g.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(g.Defers))
+	}
+}
+
+// TestSolveReachingFact runs the solver on a diamond: a fact set on one
+// arm must survive to the join only under a may-join, and the loop back
+// edge must reach a fixpoint.
+func TestSolveReachingFact(t *testing.T) {
+	g := parseFunc(t, `
+if cond() {
+	mark()
+}
+for i := 0; i < 3; i++ {
+	use()
+}
+done()`)
+	// Fact: 1 once a call to mark() was seen on some path.
+	isCall := func(n ast.Node, name string) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+	res := Solve(g, 0, func(a, b int) int { return a | b }, func(b *Block, in int) int {
+		out := in
+		for _, n := range b.Nodes {
+			if isCall(n, "mark") {
+				out = 1
+			}
+		}
+		return out
+	})
+	if res.In[g.Exit] != 1 {
+		t.Errorf("fact did not reach Exit under may-join: in[Exit] = %d", res.In[g.Exit])
+	}
+	// Must-join twin: fact survives only when every path sets it.
+	must := Solve(g, 0, func(a, b int) int { return a & b }, func(b *Block, in int) int {
+		out := in
+		for _, n := range b.Nodes {
+			if isCall(n, "mark") {
+				out = 1
+			}
+		}
+		return out
+	})
+	if must.In[g.Exit] != 0 {
+		t.Errorf("fact reached Exit under must-join despite the unmarked arm: in[Exit] = %d", must.In[g.Exit])
+	}
+}

@@ -4,13 +4,17 @@ import (
 	"testing"
 
 	"mqsspulse/tools/mqssvet/analysis/analysistest"
+	"mqsspulse/tools/mqssvet/analyzers/ctxcancel"
 	"mqsspulse/tools/mqssvet/analyzers/ctxflow"
 	"mqsspulse/tools/mqssvet/analyzers/doccomment"
 	"mqsspulse/tools/mqssvet/analyzers/epochbump"
+	"mqsspulse/tools/mqssvet/analyzers/goleak"
 	"mqsspulse/tools/mqssvet/analyzers/hotalloc"
+	"mqsspulse/tools/mqssvet/analyzers/lockorder"
 	"mqsspulse/tools/mqssvet/analyzers/nodrift"
 	"mqsspulse/tools/mqssvet/analyzers/spanend"
 	"mqsspulse/tools/mqssvet/analyzers/wirekind"
+	"mqsspulse/tools/mqssvet/suite"
 )
 
 func TestCtxflow(t *testing.T) {
@@ -55,16 +59,40 @@ func TestSuppression(t *testing.T) {
 	analysistest.Run(t, "./testdata/src/suppress", ctxflow.Analyzer)
 }
 
+// TestGoleak covers the CFG termination check: forever-loops leak,
+// ctx.Done/closed-channel/worker-retire exits pass.
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/goleak/...", goleak.Analyzer)
+}
+
+// TestCtxcancel covers the cancellability check: unguarded sends,
+// receives, selects, and sync Waits in ctx-taking functions.
+func TestCtxcancel(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/ctxcancel", ctxcancel.Analyzer)
+}
+
+// TestLockorder covers rank violations, direct self-deadlock, and ABBA
+// cycles through the interprocedural summary join.
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/lockorder", lockorder.Analyzer)
+}
+
+// TestSpanendCFG covers the paths the lexical v1 could not see: early
+// returns inside branches, panic edges, select arms, and closures.
+func TestSpanendCFG(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/spanendcfg", spanend.Analyzer)
+}
+
 // TestSuiteListsAllAnalyzers guards the multichecker registration: a new
 // analyzer package that never lands in the suite would silently not run.
 func TestSuiteListsAllAnalyzers(t *testing.T) {
-	want := []string{"wirekind", "spanend", "epochbump", "nodrift", "ctxflow", "hotalloc", "doccomment"}
-	if len(suite) != len(want) {
-		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	want := []string{"wirekind", "spanend", "epochbump", "nodrift", "ctxflow", "ctxcancel", "lockorder", "goleak", "hotalloc", "doccomment"}
+	if len(suite.All) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite.All), len(want))
 	}
 	for i, name := range want {
-		if suite[i].Name != name {
-			t.Errorf("suite[%d] = %s, want %s", i, suite[i].Name, name)
+		if suite.All[i].Name != name {
+			t.Errorf("suite[%d] = %s, want %s", i, suite.All[i].Name, name)
 		}
 	}
 }

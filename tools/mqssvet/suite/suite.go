@@ -1,0 +1,47 @@
+// Package suite assembles the full mqssvet analyzer suite in one
+// importable place, so the mqssvet command, its tests, and mqss-bench's
+// analysis wall-time experiment all run exactly the same checks.
+package suite
+
+import (
+	"go/token"
+
+	"mqsspulse/tools/mqssvet/analysis"
+	"mqsspulse/tools/mqssvet/analyzers/ctxcancel"
+	"mqsspulse/tools/mqssvet/analyzers/ctxflow"
+	"mqsspulse/tools/mqssvet/analyzers/doccomment"
+	"mqsspulse/tools/mqssvet/analyzers/epochbump"
+	"mqsspulse/tools/mqssvet/analyzers/goleak"
+	"mqsspulse/tools/mqssvet/analyzers/hotalloc"
+	"mqsspulse/tools/mqssvet/analyzers/lockorder"
+	"mqsspulse/tools/mqssvet/analyzers/nodrift"
+	"mqsspulse/tools/mqssvet/analyzers/spanend"
+	"mqsspulse/tools/mqssvet/analyzers/wirekind"
+)
+
+// All is every analyzer the multichecker knows, in report order. The
+// PR 10 CFG-backed concurrency checks (ctxcancel, lockorder, goleak)
+// sit with ctxflow; spanend has been CFG-backed since the same PR.
+var All = []*analysis.Analyzer{
+	wirekind.Analyzer,
+	spanend.Analyzer,
+	epochbump.Analyzer,
+	nodrift.Analyzer,
+	ctxflow.Analyzer,
+	ctxcancel.Analyzer,
+	lockorder.Analyzer,
+	goleak.Analyzer,
+	hotalloc.Analyzer,
+	doccomment.Analyzer,
+}
+
+// Analyze loads the packages matching patterns from dir and runs the
+// whole suite over them — the programmatic equivalent of
+// `go run ./tools/mqssvet <patterns>` without the go vet pass.
+func Analyze(dir string, patterns []string) ([]analysis.Diagnostic, *token.FileSet, error) {
+	pkgs, fset, err := analysis.Load(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	return analysis.Run(fset, pkgs, All), fset, nil
+}

@@ -1,0 +1,100 @@
+// Package ctxcancel is the ctxcancel analyzer fixture: blocking
+// operations inside ctx-taking functions, guarded and unguarded.
+package ctxcancel
+
+import (
+	"context"
+	"sync"
+)
+
+// BadSend parks on a send the cancellation can never unblock.
+func BadSend(ctx context.Context, ch chan int) {
+	ch <- 1 // want "blocking channel send in ctx-taking function BadSend"
+}
+
+// BadRecv parks on a receive of a data channel.
+func BadRecv(ctx context.Context, ch chan int) int {
+	return <-ch // want "blocking channel receive in ctx-taking function BadRecv"
+}
+
+// GoodSelectDone guards the receive with the ctx.
+func GoodSelectDone(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// GoodSelectDefault cannot block at all.
+func GoodSelectDefault(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// GoodSemaphore releases a struct{} semaphore — the done/quit shape is
+// itself a cancellation signal.
+func GoodSemaphore(ctx context.Context, sem chan struct{}) {
+	<-sem
+}
+
+// GoodQuitCase selects on a quit channel instead of the ctx.
+func GoodQuitCase(ctx context.Context, ch chan int, quit chan struct{}) {
+	select {
+	case <-ch:
+	case <-quit:
+	}
+}
+
+// BadSelect has no escape hatch across its arms.
+func BadSelect(ctx context.Context, a, b chan int) {
+	select { // want "select without default or <-ctx.Done"
+	case <-a:
+	case <-b:
+	}
+}
+
+// BadWait parks on a WaitGroup that cannot be selected on.
+func BadWait(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Wait() // want "sync.WaitGroup.Wait in ctx-taking function BadWait"
+}
+
+// BadSpawn inherits the obligation inside the goroutine it launches.
+func BadSpawn(ctx context.Context, ch chan int) {
+	go func() {
+		ch <- 1 // want "blocking channel send in ctx-taking function BadSpawn"
+	}()
+}
+
+// BadHelper accepts the ctx contract, then calls a helper that blocks
+// with no cancellation path.
+func BadHelper(ctx context.Context, ch chan int) {
+	drain(ch) // want "call to drain blocks without a cancellation path"
+}
+
+// GoodHelperCtx hands the helper its own ctx; the helper is then judged
+// on its own.
+func GoodHelperCtx(ctx context.Context, ch chan int) {
+	drainCtx(ctx, ch)
+}
+
+// NoCtx takes no context and accepts no cancellation contract.
+func NoCtx(ch chan int) int {
+	return <-ch
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+	<-ch
+}
+
+func drainCtx(ctx context.Context, ch chan int) {
+	select {
+	case <-ch:
+	case <-ctx.Done():
+	}
+}

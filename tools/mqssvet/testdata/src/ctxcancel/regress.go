@@ -1,0 +1,50 @@
+// Regression fixture for the PR 10 fix wave: client.SubmitBatch bounded
+// its compile workers with a struct{} semaphore whose acquire side was a
+// bare send — on cancellation every not-yet-started worker still queued
+// up behind the semaphore instead of exiting. The analyzer must flag the
+// bare-send shape and stay silent on the select-guarded fix.
+package ctxcancel
+
+import (
+	"context"
+	"sync"
+)
+
+// BadBatchShape is the pre-fix SubmitBatch skeleton.
+func BadBatchShape(ctx context.Context, n int) {
+	sem := make(chan struct{}, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{} // want "blocking channel send in ctx-taking function BadBatchShape"
+			defer func() { <-sem }()
+			submit(ctx)
+		}()
+	}
+	wg.Wait() // want "sync.WaitGroup.Wait in ctx-taking function BadBatchShape"
+}
+
+// GoodBatchShape is the fixed skeleton: acquisition races ctx.Done, so
+// the Wait is ctx-bounded (suppressed in the real code with that reason).
+func GoodBatchShape(ctx context.Context, n int) {
+	sem := make(chan struct{}, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			defer func() { <-sem }()
+			submit(ctx)
+		}()
+	}
+	wg.Wait() //lint:mqssvet disable=ctxcancel workers exit on ctx.Done
+}
+
+func submit(ctx context.Context) { _ = ctx }

@@ -1,0 +1,110 @@
+// Package goleak is the goleak analyzer fixture: go statements whose
+// spawned body can or cannot reach an exit. The cross-package join is
+// pinned by the loops subpackage.
+package goleak
+
+import (
+	"context"
+	"sync"
+
+	"mqsspulse/tools/mqssvet/testdata/src/goleak/loops"
+)
+
+// BadForever spawns an unconditional forever-loop.
+func BadForever() {
+	go func() { // want "goroutine can never terminate"
+		for {
+			work()
+		}
+	}()
+}
+
+// BadSelectNoEscape loops over a select none of whose arms leaves.
+func BadSelectNoEscape(ch chan int) {
+	go func() { // want "goroutine can never terminate"
+		for {
+			select {
+			case <-ch:
+				work()
+			}
+		}
+	}()
+}
+
+// GoodCtxDone retires on cancellation.
+func GoodCtxDone(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ch:
+				work()
+			}
+		}
+	}()
+}
+
+// GoodClosedChannel retires when the feed channel closes.
+func GoodClosedChannel(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// GoodRunToCompletion has no loop at all.
+func GoodRunToCompletion(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// GoodWorkerRetire exits on a retire condition, the qrm fleet shape.
+func GoodWorkerRetire(d *deck) {
+	go d.worker()
+}
+
+// BadNamedSpin spawns a named forever-loop.
+func BadNamedSpin() {
+	go spin() // want "goroutine entry spin can never terminate"
+}
+
+// BadCrossPackage spawns a forever-loop declared in another package;
+// the verdict arrives through the Finish join.
+func BadCrossPackage() {
+	go loops.Forever() // want "goroutine entry Forever can never terminate"
+}
+
+// GoodCrossPackage spawns a loop another package can stop.
+func GoodCrossPackage(ch chan struct{}) {
+	go loops.Until(ch)
+}
+
+type deck struct {
+	mu      sync.Mutex
+	workers int
+	slots   int
+}
+
+func (d *deck) worker() {
+	for {
+		d.mu.Lock()
+		retire := d.workers > d.slots
+		d.mu.Unlock()
+		if retire {
+			return
+		}
+		work()
+	}
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+func work() {}

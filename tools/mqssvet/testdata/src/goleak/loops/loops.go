@@ -1,0 +1,25 @@
+// Package loops supplies goroutine entry points for the goleak fixture's
+// cross-package Finish join.
+package loops
+
+// Forever never terminates; spawning it from another package must be
+// reported there.
+func Forever() {
+	for {
+		tick()
+	}
+}
+
+// Until terminates when the stop channel closes.
+func Until(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+			tick()
+		}
+	}
+}
+
+func tick() {}

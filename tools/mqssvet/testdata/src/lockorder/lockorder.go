@@ -1,0 +1,146 @@
+// Package lockorder is the lockorder analyzer fixture: rank
+// declarations, rank violations, direct self-deadlock, flow-sensitive
+// release-then-reacquire, and ABBA cycles both direct and through an
+// interprocedural summary.
+package lockorder
+
+import "sync"
+
+// ---- ranks respected: no diagnostics -------------------------------
+
+type E struct {
+	mu sync.Mutex //mqss:lockrank 1
+}
+
+type F struct {
+	mu sync.Mutex //mqss:lockrank 2
+}
+
+// GoodRankOrder acquires in strictly increasing rank order.
+func GoodRankOrder(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+// ---- rank violation ------------------------------------------------
+
+type G struct {
+	mu sync.Mutex //mqss:lockrank 1
+}
+
+type H struct {
+	mu sync.Mutex //mqss:lockrank 2
+}
+
+// BadRankOrder acquires rank 1 while holding rank 2.
+func BadRankOrder(g *G, h *H) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	g.mu.Lock() // want "lock rank violation"
+	g.mu.Unlock()
+}
+
+// ---- direct self-deadlock and its flow-sensitive negative ----------
+
+type S struct {
+	mu sync.Mutex
+}
+
+// BadDoubleLock reacquires a Mutex it still holds.
+func (s *S) BadDoubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want "acquired while already held"
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// GoodReacquire releases before reacquiring — the CFG must see the
+// Unlock between the two Locks.
+func (s *S) GoodReacquire() {
+	s.mu.Lock()
+	work()
+	s.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	work()
+}
+
+// ---- direct ABBA cycle ---------------------------------------------
+
+type X struct {
+	mu sync.Mutex
+}
+
+type Y struct {
+	mu sync.Mutex
+}
+
+// CycleAB takes X then Y.
+func CycleAB(x *X, y *Y) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock() // want "lock order cycle"
+	y.mu.Unlock()
+}
+
+// CycleBA takes Y then X: together with CycleAB, the classic ABBA.
+func CycleBA(x *X, y *Y) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	x.mu.Lock()
+	x.mu.Unlock()
+}
+
+// ---- interprocedural cycle through the may-acquire summary ---------
+
+type M1 struct {
+	mu sync.Mutex
+}
+
+type M2 struct {
+	mu sync.Mutex
+}
+
+// InterAB holds M1 across a call whose callee acquires M2.
+func InterAB(m1 *M1, m2 *M2) {
+	m1.mu.Lock()
+	defer m1.mu.Unlock()
+	lockM2(m2) // want "lock order cycle"
+}
+
+func lockM2(m2 *M2) {
+	m2.mu.Lock()
+	m2.mu.Unlock()
+}
+
+// InterBA closes the cycle directly.
+func InterBA(m1 *M1, m2 *M2) {
+	m2.mu.Lock()
+	defer m2.mu.Unlock()
+	m1.mu.Lock()
+	m1.mu.Unlock()
+}
+
+// ---- locals and sequential use stay silent -------------------------
+
+// GoodLocal locks a function-local mutex.
+func GoodLocal() {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	work()
+}
+
+// GoodSequential never holds two locks at once.
+func GoodSequential(e *E, f *F) {
+	f.mu.Lock()
+	work()
+	f.mu.Unlock()
+	e.mu.Lock()
+	work()
+	e.mu.Unlock()
+}
+
+func work() {}

@@ -1,0 +1,122 @@
+// Package spanendcfg is the CFG-path fixture for the spanend analyzer:
+// the exits the PR 9 lexical-dominance version could not see — early
+// returns buried in branches, panic edges, select arms, loops, and
+// function literals checked as functions of their own.
+package spanendcfg
+
+import "errors"
+
+type tracer struct{}
+
+type span struct{}
+
+func (*span) End() {}
+
+func (*span) ID() string { return "s" }
+
+func (tracer) StartSpan(stage string) *span { return &span{} }
+
+var errBoom = errors.New("boom")
+
+// GoodBranchesEnd ends on both arms of a branch — path-sensitive pass.
+func GoodBranchesEnd(t tracer, fail bool) error {
+	s := t.StartSpan("work")
+	if fail {
+		s.End()
+		return errBoom
+	}
+	work()
+	s.End()
+	return nil
+}
+
+// BadNestedReturn leaks through a return two branches deep.
+func BadNestedReturn(t tracer, a, b bool) error {
+	s := t.StartSpan("work")
+	if a {
+		if b {
+			return errBoom // want "return without ending span s"
+		}
+	}
+	s.End()
+	return nil
+}
+
+// BadPanicPath leaks through the panic edge; only a deferred End would
+// survive it.
+func BadPanicPath(t tracer, fail bool) {
+	s := t.StartSpan("work")
+	if fail {
+		panic("boom") // want "panic without ending span s"
+	}
+	s.End()
+}
+
+// GoodDeferSurvivesPanic is the fix for BadPanicPath.
+func GoodDeferSurvivesPanic(t tracer, fail bool) {
+	s := t.StartSpan("work")
+	defer s.End()
+	if fail {
+		panic("boom")
+	}
+}
+
+// BadSelectArm ends on one arm only.
+func BadSelectArm(t tracer, a, b chan int) error {
+	s := t.StartSpan("work")
+	select {
+	case <-a:
+		s.End()
+		return nil
+	case <-b:
+		return errBoom // want "return without ending span s"
+	}
+}
+
+// BadSwitchFallsOut ends in the cases but not on the no-match path out
+// of the switch.
+func BadSwitchFallsOut(t tracer, n int) {
+	s := t.StartSpan("work")
+	switch n {
+	case 1:
+		s.End()
+	case 2:
+		s.End()
+	}
+} // want "function may exit without ending span s"
+
+// GoodLoopBreakThenEnd reaches the End after the loop on every path.
+func GoodLoopBreakThenEnd(t tracer, ch chan int) {
+	s := t.StartSpan("work")
+	for {
+		if <-ch == 0 {
+			break
+		}
+	}
+	s.End()
+}
+
+// BadClosureSpan starts a span inside a literal and leaks it on the
+// literal's own early return — v1 checked closures against the outer
+// function's paths and missed this.
+func BadClosureSpan(t tracer, fail bool) func() error {
+	return func() error {
+		s := t.StartSpan("work")
+		if fail {
+			return errBoom // want "return without ending span s"
+		}
+		s.End()
+		return nil
+	}
+}
+
+// GoodClosureSpan is the closure done right.
+func GoodClosureSpan(t tracer) func() {
+	return func() {
+		s := t.StartSpan("work")
+		defer s.End()
+		work()
+	}
+}
+
+func work() {}
